@@ -1,0 +1,90 @@
+// Command hpnbench regenerates the tables and figures of "Alibaba HPN: A
+// Data Center Network for Large Language Model Training" (SIGCOMM 2024)
+// from the hpnsim reproduction.
+//
+// Usage:
+//
+//	hpnbench -list                 # enumerate experiments
+//	hpnbench -exp fig15            # run one experiment (quick scale)
+//	hpnbench -exp all -scale full  # run everything at paper scale
+//
+// Each experiment prints the rows/series the paper reports plus a
+// paper-vs-measured claim table; the exit status is non-zero if any claim
+// fails to hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hpn"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale  = flag.String("scale", "quick", "quick | full")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "also dump recorded time series as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range hpn.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var s hpn.Scale
+	switch *scale {
+	case "quick":
+		s = hpn.ScaleQuick
+	case "full":
+		s = hpn.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "hpnbench: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range hpn.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = []string{*exp}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		r, err := hpn.Run(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpnbench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(r.String())
+		fmt.Printf("(%s scale, %.2fs)\n\n", *scale, time.Since(start).Seconds())
+		if *csvDir != "" {
+			files, err := r.WriteSeriesCSV(*csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpnbench: csv: %v\n", err)
+				failed++
+			}
+			for _, f := range files {
+				fmt.Printf("wrote %s\n", f)
+			}
+		}
+		if !r.Holds() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hpnbench: %d experiment(s) with failing claims\n", failed)
+		os.Exit(1)
+	}
+}

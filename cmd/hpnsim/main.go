@@ -1,0 +1,103 @@
+// Command hpnsim runs a training job on a simulated fabric and prints the
+// per-iteration timeline: the general driver behind the paper's Figure 15
+// and 16 style end-to-end comparisons.
+//
+// Usage:
+//
+//	hpnsim -arch hpn  -model llama-13b -hosts 16 -iters 5
+//	hpnsim -arch dcn  -model gpt-175b  -hosts 72 -tp 8 -pp 8 -iters 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpn"
+)
+
+func main() {
+	var (
+		arch  = flag.String("arch", "hpn", "hpn | dcn")
+		model = flag.String("model", "llama-13b", "llama-7b | llama-13b | gpt-175b")
+		hosts = flag.Int("hosts", 16, "hosts (8 GPUs each)")
+		tp    = flag.Int("tp", 8, "tensor parallelism")
+		pp    = flag.Int("pp", 1, "pipeline parallelism")
+		iters = flag.Int("iters", 5, "iterations to simulate")
+	)
+	flag.Parse()
+
+	var m hpn.ModelSpec
+	switch strings.ToLower(*model) {
+	case "llama-7b":
+		m = hpn.LLaMa7B
+	case "llama-13b":
+		m = hpn.LLaMa13B
+	case "gpt-175b":
+		m = hpn.GPT175B
+	default:
+		fmt.Fprintf(os.Stderr, "hpnsim: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	gpus := *hosts * 8
+	if gpus%(*tp**pp) != 0 {
+		fmt.Fprintf(os.Stderr, "hpnsim: %d GPUs not divisible by tp*pp=%d\n", gpus, *tp**pp)
+		os.Exit(2)
+	}
+	par := hpn.Parallelism{TP: *tp, PP: *pp, DP: gpus / (*tp * *pp)}
+
+	var (
+		c   *hpn.Cluster
+		err error
+	)
+	switch *arch {
+	case "hpn":
+		segHosts := *hosts
+		if segHosts > 128 {
+			segHosts = 128
+		}
+		segments := (*hosts + segHosts - 1) / segHosts
+		c, err = hpn.NewHPN(hpn.SmallHPN(segments, segHosts, 16))
+	case "dcn":
+		c, err = hpn.NewDCN(hpn.SmallDCN((*hosts + 63) / 64))
+	default:
+		fmt.Fprintf(os.Stderr, "hpnsim: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	placed, err := c.PlaceJob(*hosts)
+	if err != nil {
+		fail(err)
+	}
+	job, err := hpn.NewJob(m, par, placed)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := hpn.NewTrainer(c, job)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s on %s: %d GPUs (TP=%d PP=%d DP=%d), %d segments\n",
+		m.Name, c.Arch, par.GPUs(), par.TP, par.PP, par.DP, c.SegmentsSpanned(placed))
+	if err := tr.Start(*iters); err != nil {
+		fail(err)
+	}
+	c.Eng.Run()
+
+	fmt.Printf("%-5s  %-12s  %-12s\n", "iter", "samples/s", "sync (s)")
+	for i, p := range tr.Perf.Points {
+		fmt.Printf("%-5d  %-12.1f  %-12.4f\n", i+1, p.V, tr.CommSeconds.Points[i].V)
+	}
+	fmt.Printf("mean samples/s: %.1f\n", tr.MeanSamplesPerSecond())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hpnsim:", err)
+	os.Exit(1)
+}

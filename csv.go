@@ -1,0 +1,75 @@
+package hpn
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hpn/internal/metrics"
+)
+
+// WriteSeriesCSV writes one CSV per recorded time series of the report
+// into dir, named <experiment>-<series>.csv with (t, value) rows — the raw
+// material for re-plotting the paper's figures.
+func (r *Report) WriteSeriesCSV(dir string) ([]string, error) {
+	if len(r.Series) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	for i, s := range r.Series {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series%d", i)
+		}
+		path := filepath.Join(dir, sanitize(r.ID+"-"+name)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		if err := writePoints(f, s.Points); err != nil {
+			f.Close()
+			return written, err
+		}
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// writePoints emits the CSV body.
+func writePoints(w io.Writer, pts []metrics.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "value"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(p.T, 'g', -1, 64),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,60 @@
+// Training: run the same LLaMa-13B job on HPN and on the DCN+ baseline and
+// compare end-to-end iteration throughput — a miniature of the paper's
+// Figure 16 evaluation.
+//
+//	go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpn"
+)
+
+const hosts = 24 // 192 GPUs
+
+func run(arch string) (samplesPerSec float64, segments int) {
+	var (
+		cluster *hpn.Cluster
+		err     error
+	)
+	if arch == "hpn" {
+		// One HPN segment holds the whole job: pure tier1 networking.
+		cluster, err = hpn.NewHPN(hpn.SmallHPN(1, hosts, 8))
+	} else {
+		// DCN+ segments hold 16 hosts: the same job spans two of them.
+		cluster, err = hpn.NewDCN(hpn.SmallDCN(1))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	placed, err := cluster.PlaceJob(hosts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := hpn.NewJob(hpn.LLaMa13B, hpn.Parallelism{TP: 8, PP: 1, DP: hosts}, placed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := hpn.NewTrainer(cluster, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trainer.Start(5); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Eng.Run()
+	return trainer.MeanSamplesPerSecond(), cluster.SegmentsSpanned(placed)
+}
+
+func main() {
+	fmt.Printf("LLaMa-13B, %d GPUs, TP=8 DP=%d, 5 iterations\n\n", hosts*8, hosts)
+	dcn, dcnSegs := run("dcn")
+	hpnPerf, hpnSegs := run("hpn")
+	fmt.Printf("%-6s  %-10s  %-10s\n", "arch", "segments", "samples/s")
+	fmt.Printf("%-6s  %-10d  %-10.1f\n", "DCN+", dcnSegs, dcn)
+	fmt.Printf("%-6s  %-10d  %-10.1f\n", "HPN", hpnSegs, hpnPerf)
+	fmt.Printf("\nHPN end-to-end gain: %+.1f%% (paper reports +14.4%% for LLaMa-13B)\n",
+		(hpnPerf/dcn-1)*100)
+}

@@ -1,0 +1,62 @@
+package hpn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale selects experiment fidelity.
+type Scale int
+
+// Experiment scales.
+const (
+	// ScaleQuick shrinks host counts so every experiment runs in seconds
+	// (CI, unit tests, examples). Structure and claims are unchanged.
+	ScaleQuick Scale = iota
+	// ScaleFull uses the paper's sizes where the fluid simulator can carry
+	// them (e.g. 2300+-GPU jobs, 448-GPU sweeps).
+	ScaleFull
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(id, title string, run func(Scale) (*Report, error)) {
+	if _, dup := registry[id]; dup {
+		panic("hpn: duplicate experiment " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+	order = append(order, id)
+}
+
+// Experiments lists all registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// ExperimentIDs returns the sorted experiment identifiers.
+func ExperimentIDs() []string {
+	ids := append([]string(nil), order...)
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, s Scale) (*Report, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("hpn: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return e.Run(s)
+}

@@ -1,0 +1,3 @@
+module hpn
+
+go 1.22

@@ -1,0 +1,100 @@
+package hpn
+
+import (
+	"hpn/internal/collective"
+	"hpn/internal/core"
+	"hpn/internal/topo"
+	"hpn/internal/workload"
+)
+
+// Re-exported architecture surface: these aliases are the supported public
+// entry points; the internal packages behind them are implementation
+// detail.
+
+// Cluster is a built fabric (topology + simulator); see core.Cluster.
+type Cluster = core.Cluster
+
+// Arch identifies an architecture variant.
+type Arch = core.Arch
+
+// The architecture variants.
+const (
+	ArchHPN            = core.ArchHPN
+	ArchHPNSinglePlane = core.ArchHPNSinglePlane
+	ArchHPNSingleToR   = core.ArchHPNSingleToR
+	ArchDCN            = core.ArchDCN
+)
+
+// HPNConfig parameterizes an HPN build; DefaultHPN gives production values.
+type HPNConfig = topo.HPNConfig
+
+// DCNConfig parameterizes the DCN+ baseline.
+type DCNConfig = topo.DCNConfig
+
+// DefaultHPN returns the production HPN configuration (15K GPUs per pod).
+func DefaultHPN() HPNConfig { return topo.DefaultHPN() }
+
+// SmallHPN returns a reduced HPN keeping the full structure.
+func SmallHPN(segments, hostsPerSegment, aggsPerPlane int) HPNConfig {
+	return topo.SmallHPN(segments, hostsPerSegment, aggsPerPlane)
+}
+
+// DefaultDCN returns the production DCN+ configuration (16K GPUs).
+func DefaultDCN() DCNConfig { return topo.DefaultDCN() }
+
+// SmallDCN returns a reduced DCN+ with the given pod count.
+func SmallDCN(pods int) DCNConfig { return topo.SmallDCN(pods) }
+
+// NewHPN builds an HPN (or ablation) cluster.
+func NewHPN(cfg HPNConfig) (*Cluster, error) { return core.NewHPN(cfg) }
+
+// NewDCN builds a DCN+ baseline cluster.
+func NewDCN(cfg DCNConfig) (*Cluster, error) { return core.NewDCN(cfg) }
+
+// Collective-library surface.
+
+// CollectiveConfig tunes the communication library.
+type CollectiveConfig = collective.Config
+
+// CollectiveGroup performs collectives among a host set.
+type CollectiveGroup = collective.Group
+
+// CollectiveResult reports one operation's timing and bandwidths.
+type CollectiveResult = collective.Result
+
+// NewCollectiveGroup establishes ring connections among hosts (all rails).
+func NewCollectiveGroup(c *Cluster, cfg CollectiveConfig, hosts []int) (*CollectiveGroup, error) {
+	return collective.NewGroup(c.Net, cfg, hosts, 8)
+}
+
+// Workload surface.
+
+// ModelSpec describes an LLM; LLaMa7B, LLaMa13B and GPT175B are provided.
+type ModelSpec = workload.ModelSpec
+
+// The paper's representative models.
+var (
+	LLaMa7B  = workload.LLaMa7B
+	LLaMa13B = workload.LLaMa13B
+	GPT175B  = workload.GPT175B
+)
+
+// Parallelism is a TP/PP/DP decomposition.
+type Parallelism = workload.Parallelism
+
+// Job is a placed training job.
+type Job = workload.Job
+
+// Trainer simulates training iterations over the fabric.
+type Trainer = workload.Trainer
+
+// NewJob validates and returns a training job.
+func NewJob(m ModelSpec, p Parallelism, hosts []int) (*Job, error) {
+	return workload.NewJob(m, p, hosts)
+}
+
+// NewTrainer builds a trainer for the job on the cluster, using the
+// cluster's native collective configuration.
+func NewTrainer(c *Cluster, job *Job) (*Trainer, error) {
+	return workload.NewTrainer(c.Net, job, c.CollectiveConfig())
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"hpn/internal/collective"
+	"hpn/internal/topo"
+)
+
+func TestNewHPNArchTagging(t *testing.T) {
+	c, err := NewHPN(topo.SmallHPN(1, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arch != ArchHPN {
+		t.Fatalf("arch = %v", c.Arch)
+	}
+	cfg := topo.SmallHPN(1, 4, 4)
+	cfg.DualPlane = false
+	c2, _ := NewHPN(cfg)
+	if c2.Arch != ArchHPNSinglePlane {
+		t.Fatalf("arch = %v", c2.Arch)
+	}
+	cfg.DualToR = false
+	c3, _ := NewHPN(cfg)
+	if c3.Arch != ArchHPNSingleToR {
+		t.Fatalf("arch = %v", c3.Arch)
+	}
+}
+
+func TestCollectivePolicyByArch(t *testing.T) {
+	hpn, err := NewHPN(topo.SmallHPN(1, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpn.CollectiveConfig().Policy != collective.PolicyDisjoint {
+		t.Fatal("HPN must ship the disjoint-path policy")
+	}
+	dcn, err := NewDCN(topo.SmallDCN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcn.CollectiveConfig().Policy != collective.PolicyBlind {
+		t.Fatal("DCN+ baseline must use the blind policy")
+	}
+}
+
+func TestPlaceJobSegmentFirst(t *testing.T) {
+	c, err := NewHPN(topo.SmallHPN(3, 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := c.PlaceJob(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SegmentsSpanned(hosts); got != 1 {
+		t.Fatalf("8-host job spans %d segments, want 1", got)
+	}
+	hosts, err = c.PlaceJob(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SegmentsSpanned(hosts); got != 2 {
+		t.Fatalf("12-host job spans %d segments, want 2", got)
+	}
+	if _, err := c.PlaceJob(1000); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+func TestPlaceJobSkipsBackupHosts(t *testing.T) {
+	cfg := topo.SmallHPN(1, 4, 4)
+	cfg.BackupHostsPerSegment = 2
+	c, err := NewHPN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := c.PlaceJob(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if c.Topo.Hosts[h].Backup {
+			t.Fatal("backup host placed in a job")
+		}
+	}
+	if _, err := c.PlaceJob(5); err == nil {
+		t.Fatal("placement must not use backup hosts")
+	}
+}
+
+func TestVerifyPlaneIsolation(t *testing.T) {
+	c, err := NewHPN(topo.SmallHPN(2, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyPlaneIsolation(200, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Single-plane clusters must be rejected outright.
+	cfg := topo.SmallHPN(1, 4, 4)
+	cfg.DualPlane = false
+	c2, _ := NewHPN(cfg)
+	if err := c2.VerifyPlaneIsolation(10, 1); err == nil {
+		t.Fatal("single-plane cluster passed plane-isolation check")
+	}
+}
+
+// Table 1's structural claim, measured: HPN's search space is 1-2 orders
+// of magnitude below the 3-tier baseline's.
+func TestPathSearchSpaceMeasured(t *testing.T) {
+	hpnCfg := topo.DefaultHPN()
+	hpnCfg.SegmentsPerPod = 2 // keep the build small; fan-out is per-ToR
+	hpn, err := NewHPN(hpnCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hpn.PathSearchSpace(0, 0); got != 60 {
+		t.Fatalf("HPN search space = %d, want 60", got)
+	}
+	dcn, err := NewDCN(topo.SmallDCN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dcn.PathSearchSpace(0, 0)) / 60.0
+	if ratio < 10 {
+		t.Fatalf("DCN+ search space only %.0fx HPN's, want >=10x", ratio)
+	}
+}

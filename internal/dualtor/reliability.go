@@ -1,0 +1,162 @@
+package dualtor
+
+import "hpn/internal/sim"
+
+// Design names an access-layer design under reliability comparison.
+type Design uint8
+
+// The three access designs the paper compares.
+const (
+	SingleToR Design = iota
+	StackedDualToR
+	NonStackedDualToR
+)
+
+func (d Design) String() string {
+	switch d {
+	case SingleToR:
+		return "single-ToR"
+	case StackedDualToR:
+		return "stacked dual-ToR"
+	default:
+		return "non-stacked dual-ToR"
+	}
+}
+
+// ReliabilityParams drives the Monte-Carlo comparison. Rates are per rack
+// (dual-ToR set) per month unless noted, taken from the paper's production
+// statistics (§2.3, §4.1).
+type ReliabilityParams struct {
+	Months int
+	Racks  int
+
+	// ToRCrashPerMonth: 0.051% of ToR switches hit critical errors monthly.
+	ToRCrashPerMonth float64
+	// DataPlaneWedgePerMonth: data-plane-only failures (MMU overflow class)
+	// with a live control plane; a fraction of critical ToR errors.
+	DataPlaneWedgePerMonth float64
+	// UpgradesPerMonth is the rolling-upgrade frequency per pair;
+	// ISSUIncompatibleShare is the share of upgrades whose version diff
+	// exceeds ISSU tolerance (70% per the paper); UpgradeOutageProb is the
+	// probability an incompatible upgrade actually wedges the pair (most
+	// are caught by canarying before fleet-wide rollout).
+	UpgradesPerMonth      float64
+	ISSUIncompatibleShare float64
+	UpgradeOutageProb     float64
+	// SyncLinkFailPerMonth is the inter-ToR stack cable failure rate.
+	SyncLinkFailPerMonth float64
+
+	Seed uint64
+}
+
+// DefaultReliabilityParams returns production-calibrated rates.
+func DefaultReliabilityParams() ReliabilityParams {
+	return ReliabilityParams{
+		Months:                 36, // the paper's three-year failure window
+		Racks:                  1000,
+		ToRCrashPerMonth:       0.00051 * 2, // two ToRs per set
+		DataPlaneWedgePerMonth: 0.0004,
+		UpgradesPerMonth:       1.0 / 6, // a rolling upgrade every ~6 months
+		ISSUIncompatibleShare:  0.70,
+		UpgradeOutageProb:      0.05,
+		SyncLinkFailPerMonth:   0.0002,
+		Seed:                   7,
+	}
+}
+
+// ReliabilityReport tallies rack-months of each outcome plus the cause
+// breakdown of total outages.
+type ReliabilityReport struct {
+	Design             Design
+	RackMonths         int
+	Outages            int // rack-offline events
+	Degraded           int // single-member events (no outage)
+	OutagesFromStack   int // outages attributable to stack sync/upgrade logic
+	OutagesFromports   int
+	CriticalFailures   int // all events that would page an operator
+	StackShareOfCrit   float64
+	OutagesPerKRackMon float64
+}
+
+// SimulateReliability runs the Monte Carlo for one design.
+func SimulateReliability(d Design, p ReliabilityParams) ReliabilityReport {
+	rng := sim.NewRNG(p.Seed ^ (uint64(d) << 32))
+	rep := ReliabilityReport{Design: d, RackMonths: p.Months * p.Racks}
+
+	for rack := 0; rack < p.Racks; rack++ {
+		version := 1
+		for month := 0; month < p.Months; month++ {
+			crash := rng.Bernoulli(p.ToRCrashPerMonth)
+			wedge := rng.Bernoulli(p.DataPlaneWedgePerMonth)
+			upgrade := rng.Bernoulli(p.UpgradesPerMonth)
+			badUpgrade := upgrade && rng.Bernoulli(p.ISSUIncompatibleShare) && rng.Bernoulli(p.UpgradeOutageProb)
+			syncFail := rng.Bernoulli(p.SyncLinkFailPerMonth)
+
+			switch d {
+			case SingleToR:
+				// One ToR, no redundancy: a crash or wedge is an outage.
+				// (Half the crash rate: one ToR per rack, not two.)
+				if (crash && rng.Bernoulli(0.5)) || wedge {
+					rep.Outages++
+					rep.CriticalFailures++
+				}
+
+			case StackedDualToR:
+				pair := NewStackedPair(version)
+				if crash {
+					i := rng.Intn(2)
+					pair.ToRs[i].DataPlaneUp = false
+					pair.ToRs[i].ControlPlaneUp = false
+				}
+				if wedge {
+					// Wedge hits the primary's data plane only.
+					pair.ToRs[0].DataPlaneUp = false
+				}
+				if badUpgrade {
+					pair.ToRs[0].Version = version + 10 // beyond ISSU tolerance
+				} else if upgrade {
+					pair.ToRs[0].Version = version // ISSU bridged the diff
+				}
+				if syncFail {
+					pair.SyncLinkUp = false
+				}
+				switch pair.Evaluate() {
+				case RackOffline:
+					rep.Outages++
+					rep.CriticalFailures++
+					if wedge || badUpgrade || syncFail {
+						rep.OutagesFromStack++
+					}
+				case RackDegraded:
+					rep.Degraded++
+					rep.CriticalFailures++
+				}
+
+			case NonStackedDualToR:
+				pair := NewNonStackedPair()
+				if crash {
+					pair.DataPlaneUp[rng.Intn(2)] = false
+				}
+				if wedge {
+					// A wedged data plane stops advertising BGP routes; the
+					// peer keeps forwarding independently.
+					pair.DataPlaneUp[0] = false
+				}
+				// Upgrades are per-member and independent: no sync to break.
+				switch pair.Evaluate() {
+				case RackOffline:
+					rep.Outages++
+					rep.CriticalFailures++
+				case RackDegraded:
+					rep.Degraded++
+					rep.CriticalFailures++
+				}
+			}
+		}
+	}
+	if rep.CriticalFailures > 0 {
+		rep.StackShareOfCrit = float64(rep.OutagesFromStack) / float64(rep.CriticalFailures)
+	}
+	rep.OutagesPerKRackMon = float64(rep.Outages) / float64(rep.RackMonths) * 1000
+	return rep
+}

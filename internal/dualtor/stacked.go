@@ -1,0 +1,187 @@
+package dualtor
+
+// This file models the stacked dual-ToR design (§4.1, Figure 8a) precisely
+// enough to reproduce its two production failure classes:
+//
+//  1. Stack failure: the primary's data plane wedges (e.g. MMU overflow)
+//     while its control plane stays alive. Inband synchronization dies with
+//     the data plane, the out-of-band controller channel keeps agreeing
+//     that the primary is fine, and the secondary — unable to synchronize
+//     forwarding state — shuts itself down to avoid inconsistency. The rack
+//     is left behind a wedged data plane: total outage.
+//
+//  2. Upgrade incompatibility: during rolling upgrades one member runs the
+//     new control-plane version. If the RPC schema diff exceeds what ISSU
+//     tolerates (70% of upgrades, per the paper), state synchronization
+//     fails and members go down: total outage.
+//
+// The non-stacked design removes inter-ToR synchronization entirely, so
+// neither class exists; its Evaluate degrades to half capacity at worst.
+
+// Role distinguishes the stacked pair's control-plane roles.
+type Role uint8
+
+// Stacked control-plane roles.
+const (
+	Primary Role = iota
+	Secondary
+)
+
+// StackedToR is one member of a stacked pair.
+type StackedToR struct {
+	Role           Role
+	DataPlaneUp    bool
+	ControlPlaneUp bool
+	// Version is the control-plane software version (for upgrade modeling).
+	Version int
+}
+
+// StackedPair is a stacked dual-ToR set with its two synchronization
+// channels.
+type StackedPair struct {
+	ToRs [2]StackedToR
+	// SyncLinkUp is the direct inter-ToR cable used for data-plane state
+	// sync (ARP/MAC). It is carried by the data planes: if either data
+	// plane is down, synchronization is down regardless of the cable.
+	SyncLinkUp bool
+	// OOBUp is the out-of-band network the control planes use to agree on
+	// primary election.
+	OOBUp bool
+	// ISSUMaxDiff is the largest version gap In-Service Software Upgrade
+	// can bridge.
+	ISSUMaxDiff int
+}
+
+// NewStackedPair returns a healthy stacked pair at version v.
+func NewStackedPair(v int) *StackedPair {
+	return &StackedPair{
+		ToRs: [2]StackedToR{
+			{Role: Primary, DataPlaneUp: true, ControlPlaneUp: true, Version: v},
+			{Role: Secondary, DataPlaneUp: true, ControlPlaneUp: true, Version: v},
+		},
+		SyncLinkUp:  true,
+		OOBUp:       true,
+		ISSUMaxDiff: 0,
+	}
+}
+
+// RackState summarizes what the hosts under the pair experience.
+type RackState uint8
+
+// Possible rack states, best to worst.
+const (
+	RackHealthy  RackState = iota // both members forwarding
+	RackDegraded                  // one member forwarding: no redundancy
+	RackOffline                   // no member forwarding: total outage
+)
+
+func (s RackState) String() string {
+	switch s {
+	case RackHealthy:
+		return "healthy"
+	case RackDegraded:
+		return "degraded"
+	default:
+		return "offline"
+	}
+}
+
+// syncAlive reports whether inband forwarding-state sync works: it needs
+// the cable and both data planes.
+func (p *StackedPair) syncAlive() bool {
+	return p.SyncLinkUp && p.ToRs[0].DataPlaneUp && p.ToRs[1].DataPlaneUp
+}
+
+// versionsCompatible reports whether control-plane RPC sync survives the
+// current version skew.
+func (p *StackedPair) versionsCompatible() bool {
+	d := p.ToRs[0].Version - p.ToRs[1].Version
+	if d < 0 {
+		d = -d
+	}
+	return d <= p.ISSUMaxDiff
+}
+
+// Evaluate runs the stacked pair's distributed logic and returns the
+// resulting rack state.
+func (p *StackedPair) Evaluate() RackState {
+	forwarding := [2]bool{
+		p.ToRs[0].DataPlaneUp && p.ToRs[0].ControlPlaneUp,
+		p.ToRs[1].DataPlaneUp && p.ToRs[1].ControlPlaneUp,
+	}
+
+	// Upgrade incompatibility: members cannot exchange state; the stack
+	// protocol wedges both control planes (§4.1 "ToRs can be down if such
+	// an incompatibility issue happens").
+	if p.ToRs[0].ControlPlaneUp && p.ToRs[1].ControlPlaneUp && !p.versionsCompatible() {
+		return RackOffline
+	}
+
+	if !p.syncAlive() {
+		// Inband sync is gone. If the out-of-band channel still reports
+		// both control planes healthy, neither side concludes the other is
+		// dead: the primary keeps its role and the secondary shuts itself
+		// down to avoid inconsistent forwarding.
+		if p.OOBUp && p.ToRs[0].ControlPlaneUp && p.ToRs[1].ControlPlaneUp {
+			secondary := 1
+			if p.ToRs[0].Role == Secondary {
+				secondary = 0
+			}
+			forwarding[secondary] = false
+			// The remaining member forwards only if its data plane
+			// actually works — in the MMU-wedge scenario it does not.
+		} else {
+			// OOB is down or a control plane is dead: the survivor detects
+			// the peer failure and takes over alone.
+			for i := range forwarding {
+				forwarding[i] = forwarding[i] && p.ToRs[i].DataPlaneUp
+			}
+		}
+	}
+
+	n := 0
+	for _, f := range forwarding {
+		if f {
+			n++
+		}
+	}
+	switch n {
+	case 2:
+		return RackHealthy
+	case 1:
+		return RackDegraded
+	default:
+		return RackOffline
+	}
+}
+
+// NonStackedPair is HPN's design: two independent ToRs; the only coupling
+// is BGP route advertisement, so the rack state is a pure function of the
+// members' own health.
+type NonStackedPair struct {
+	DataPlaneUp [2]bool
+}
+
+// NewNonStackedPair returns a healthy non-stacked pair.
+func NewNonStackedPair() *NonStackedPair {
+	return &NonStackedPair{DataPlaneUp: [2]bool{true, true}}
+}
+
+// Evaluate returns the rack state: degraded with one member down, offline
+// only if both fail independently.
+func (p *NonStackedPair) Evaluate() RackState {
+	n := 0
+	for _, up := range p.DataPlaneUp {
+		if up {
+			n++
+		}
+	}
+	switch n {
+	case 2:
+		return RackHealthy
+	case 1:
+		return RackDegraded
+	default:
+		return RackOffline
+	}
+}

@@ -1,0 +1,129 @@
+package failure
+
+import (
+	"testing"
+
+	"hpn/internal/netsim"
+	"hpn/internal/route"
+	"hpn/internal/sim"
+	"hpn/internal/topo"
+)
+
+func newNet(t *testing.T, dualToR bool) (*sim.Engine, *topo.Topology, *netsim.Sim) {
+	t.Helper()
+	cfg := topo.SmallHPN(2, 4, 4)
+	if !dualToR {
+		cfg.DualToR = false
+		cfg.DualPlane = false
+	}
+	top, err := topo.BuildHPN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	return eng, top, netsim.New(eng, top)
+}
+
+func TestMonthlyRatios(t *testing.T) {
+	s := MonthlyLinkFailureRatios(12, 1)
+	if s.Len() != 12 {
+		t.Fatalf("months = %d", s.Len())
+	}
+	mean := s.Mean()
+	want := ProductionRates().LinkFailPerMonth
+	if mean < want*0.5 || mean > want*1.5 {
+		t.Fatalf("mean ratio %v far from %v", mean, want)
+	}
+}
+
+func TestCrashesPerMonth(t *testing.T) {
+	// A 3K-GPU job (384 hosts): the paper reports 1-2 fabric-fault
+	// interruptions per month.
+	got := CrashesPerMonth(384, ProductionRates())
+	if got < 1 || got > 3 {
+		t.Fatalf("crashes/month = %v, want 1-2", got)
+	}
+}
+
+func TestInjectorFailAndRecover(t *testing.T) {
+	eng, top, net := newNet(t, true)
+	in := &Injector{Net: net}
+	src, dst := route.Endpoint{Host: 0, NIC: 0}, route.Endpoint{Host: 4, NIC: 0}
+	done := false
+	f, err := net.StartFlow(src, dst, 8<<30, netsim.FlowOpts{SrcPort: 0, OnComplete: func(sim.Time, *netsim.Flow) { done = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.FailLinkAt(10*sim.Millisecond, f.Path[0])
+	in.RecoverLinkAt(5*sim.Second, f.Path[0])
+	eng.Run()
+	if !done {
+		t.Fatal("flow did not survive fail+recover")
+	}
+	_ = top
+}
+
+func TestFlapping(t *testing.T) {
+	eng, top, net := newNet(t, true)
+	in := &Injector{Net: net}
+	src, dst := route.Endpoint{Host: 0, NIC: 0}, route.Endpoint{Host: 4, NIC: 0}
+	done := false
+	f, err := net.StartFlow(src, dst, 8<<30, netsim.FlowOpts{SrcPort: 0, OnComplete: func(sim.Time, *netsim.Flow) { done = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.FlapLinkAt(10*sim.Millisecond, f.Path[0], 200*sim.Millisecond, 300*sim.Millisecond, 5)
+	eng.Run()
+	if !done {
+		t.Fatal("flow did not survive flapping under dual-ToR")
+	}
+	_ = top
+}
+
+// Watchdog: a short repair beats the timeout; a long one crashes the job.
+func TestWatchdogRecoveryVsCrash(t *testing.T) {
+	run := func(repairAfter sim.Time) (bool, sim.Time) {
+		eng, _, net := newNet(t, false) // single-ToR: stall is total
+		in := &Injector{Net: net}
+		src, dst := route.Endpoint{Host: 0, NIC: 0}, route.Endpoint{Host: 4, NIC: 0}
+		f, err := net.StartFlow(src, dst, 1<<41, netsim.FlowOpts{SrcPort: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		failAt := 10 * sim.Second
+		in.FailLinkAt(failAt, f.Path[0])
+		in.RecoverLinkAt(failAt+repairAfter, f.Path[0])
+		w := NewWatchdog(net)
+		w.Watch(10 * sim.Minute)
+		eng.RunUntil(10 * sim.Minute)
+		return w.Crashed()
+	}
+	if crashed, _ := run(50 * sim.Second); crashed {
+		t.Fatal("50s repair should beat the 90s timeout")
+	}
+	crashed, at := run(3 * sim.Minute)
+	if !crashed {
+		t.Fatal("3min repair must crash the job")
+	}
+	if at < 10*sim.Second || at > 10*sim.Second+2*sim.Minute {
+		t.Fatalf("crash at %v, expected ~timeout after failure", at)
+	}
+}
+
+// Under dual-ToR the same failure never stalls flows long enough to crash.
+func TestWatchdogDualToRSurvives(t *testing.T) {
+	eng, _, net := newNet(t, true)
+	in := &Injector{Net: net}
+	src, dst := route.Endpoint{Host: 0, NIC: 0}, route.Endpoint{Host: 4, NIC: 0}
+	f, err := net.StartFlow(src, dst, 1<<40, netsim.FlowOpts{SrcPort: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.FailLinkAt(10*sim.Second, f.Path[0]) // never repaired
+	w := NewWatchdog(net)
+	w.Watch(5 * sim.Minute)
+	eng.RunUntil(5 * sim.Minute)
+	if crashed, _ := w.Crashed(); crashed {
+		t.Fatal("dual-ToR job crashed on a single access failure")
+	}
+}

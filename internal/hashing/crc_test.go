@@ -1,0 +1,121 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/XMODEM (poly 0x1021, init 0, no xorout) of "123456789" is
+	// 0x31C3 — the standard check value.
+	c := CRC16{Poly: CCITTPoly}
+	if got := c.Sum([]byte("123456789")); got != 0x31C3 {
+		t.Fatalf("CRC16 check value = %#x, want 0x31c3", got)
+	}
+}
+
+// The property everything rests on: strict linearity over GF(2).
+func TestCRCLinearityProperty(t *testing.T) {
+	c := CRC16{Poly: CCITTPoly}
+	f := func(a, b [13]byte) bool {
+		var x [13]byte
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		return c.Sum(x[:]) == c.Sum(a[:])^c.Sum(b[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The basis evaluation must exactly reproduce the full CRC for every
+// source port — the host predicts, it does not guess.
+func TestSportBasisExactProperty(t *testing.T) {
+	c := CRC16{Poly: CCITTPoly}
+	f := func(src, dst uint32, sport, dport uint16) bool {
+		tuple := FiveTuple{SrcAddr: src, DstAddr: dst, SrcPort: sport, DstPort: dport, Proto: 17}
+		base, basis := c.SportBasis(tuple)
+		return EvalSport(base, basis, sport) == c.HashTuple(tuple)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Solving for a bucket yields source ports the switch actually maps there.
+func TestSportsForBucket(t *testing.T) {
+	c := CRC16{Poly: CCITTPoly}
+	tuple := FiveTuple{SrcAddr: 0x0a000001, DstAddr: 0x0a000002, DstPort: 4791, Proto: 17}
+	base, basis := c.SportBasis(tuple)
+	const n = 60 // an HPN ToR's ECMP fan-out
+	for bucket := 0; bucket < n; bucket += 7 {
+		sports := SportsForBucket(base, basis, n, bucket, 10000, 4)
+		if len(sports) == 0 {
+			t.Fatalf("no sport found for bucket %d", bucket)
+		}
+		for _, s := range sports {
+			tu := tuple
+			tu.SrcPort = s
+			if got := c.Select(tu, n); got != bucket {
+				t.Fatalf("sport %d lands in bucket %d, want %d", s, got, bucket)
+			}
+			if s < 10000 {
+				t.Fatalf("sport %d below requested floor", s)
+			}
+		}
+	}
+}
+
+func TestSportsForBucketDegenerate(t *testing.T) {
+	if SportsForBucket(0, [16]uint16{}, 0, 0, 0, 4) != nil {
+		t.Fatal("n=0 should yield nil")
+	}
+	if SportsForBucket(0, [16]uint16{}, 4, 9, 0, 4) != nil {
+		t.Fatal("out-of-range bucket should yield nil")
+	}
+}
+
+func TestCRCSelectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select over empty group did not panic")
+		}
+	}()
+	CRC16{Poly: CCITTPoly}.Select(FiveTuple{}, 0)
+}
+
+// Distinct tuples spread across buckets reasonably (the CRC stage is a
+// usable ECMP hash, not just a checksum).
+func TestCRCUniformity(t *testing.T) {
+	c := CRC16{Poly: CCITTPoly}
+	counts := make([]int, 16)
+	for i := 0; i < 8000; i++ {
+		tu := FiveTuple{SrcAddr: uint32(i), DstAddr: 0x0a000002, SrcPort: uint16(30000 + i), DstPort: 4791, Proto: 17}
+		counts[c.Select(tu, 16)]++
+	}
+	if imb := Imbalance(counts); imb > 1.25 {
+		t.Fatalf("CRC bucket imbalance %v", imb)
+	}
+}
+
+func BenchmarkCRCFullHash(b *testing.B) {
+	c := CRC16{Poly: CCITTPoly}
+	tu := FiveTuple{SrcAddr: 1, DstAddr: 2, DstPort: 4791, Proto: 17}
+	for i := 0; i < b.N; i++ {
+		tu.SrcPort = uint16(i)
+		_ = c.HashTuple(tu)
+	}
+}
+
+// The point of linearity: evaluating a candidate source port via the basis
+// is far cheaper than a full CRC.
+func BenchmarkCRCBasisEval(b *testing.B) {
+	c := CRC16{Poly: CCITTPoly}
+	tu := FiveTuple{SrcAddr: 1, DstAddr: 2, DstPort: 4791, Proto: 17}
+	base, basis := c.SportBasis(tu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EvalSport(base, basis, uint16(i))
+	}
+}

@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"hpn/internal/sim"
+	"hpn/internal/topo"
+)
+
+// recompute performs the max-min fair (progressive filling) bandwidth
+// allocation over all running flows, refreshes probe accumulators, and
+// schedules the next completion event.
+//
+// Progressive filling: repeatedly find the most constrained link (smallest
+// headroom per unfrozen flow), freeze its flows at that fair share, subtract
+// their rates everywhere, and continue until every flow is frozen. All links
+// tied at the bottleneck share are frozen together, which collapses the
+// iteration count on symmetric fabrics.
+func (s *Sim) recompute() {
+	s.curEpoch++
+	s.touched = s.touched[:0]
+
+	// Gather running flows and initialize link accounting.
+	unfrozen := make([]*Flow, 0, len(s.active))
+	for _, f := range s.active {
+		if f.Stalled {
+			f.Rate = 0
+			continue
+		}
+		unfrozen = append(unfrozen, f)
+		for _, lk := range f.Path {
+			s.touch(lk)
+			s.nShare[lk]++
+		}
+	}
+
+	// Offered-demand model for the queue proxy: a flow wishes for its fair
+	// share at its first (access) link.
+	for _, f := range unfrozen {
+		first := f.Path[0]
+		wish := s.capRem[first] / float64(s.nShare[first])
+		for _, lk := range f.Path {
+			s.demand[lk] += wish
+		}
+	}
+
+	const eps = 1e-9
+	for len(unfrozen) > 0 {
+		// Find the bottleneck share.
+		min := -1.0
+		for _, f := range unfrozen {
+			for _, lk := range f.Path {
+				if s.nShare[lk] == 0 {
+					continue
+				}
+				share := s.capRem[lk] / float64(s.nShare[lk])
+				if min < 0 || share < min {
+					min = share
+				}
+			}
+		}
+		if min < 0 {
+			break
+		}
+		// Freeze every flow crossing a link at (or below) the bottleneck
+		// share.
+		kept := unfrozen[:0]
+		for _, f := range unfrozen {
+			freeze := false
+			for _, lk := range f.Path {
+				if s.nShare[lk] == 0 {
+					continue
+				}
+				share := s.capRem[lk] / float64(s.nShare[lk])
+				if share <= min*(1+1e-9)+eps {
+					freeze = true
+					break
+				}
+			}
+			if freeze {
+				f.Rate = min
+				for _, lk := range f.Path {
+					s.capRem[lk] -= min
+					if s.capRem[lk] < 0 {
+						s.capRem[lk] = 0
+					}
+					s.nShare[lk]--
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == len(unfrozen) {
+			// Defensive: should be impossible, but never spin.
+			for _, f := range kept {
+				f.Rate = min
+			}
+			kept = kept[:0]
+		}
+		unfrozen = kept
+	}
+
+	// Refresh probe accumulators from the new allocation.
+	for _, p := range s.probes {
+		p.util, p.demand = 0, 0
+	}
+	if len(s.probes) > 0 {
+		for _, f := range s.active {
+			if f.Stalled {
+				continue
+			}
+			for _, lk := range f.Path {
+				if p, ok := s.probes[lk]; ok {
+					p.util += f.Rate
+				}
+			}
+		}
+		for lk, p := range s.probes {
+			if s.epoch[lk] == s.curEpoch {
+				p.demand = s.demand[lk]
+			}
+			p.cap = s.Top.Link(lk).CapBps
+			if !s.Top.LinkUsable(lk) {
+				p.cap = 0
+			}
+		}
+	}
+
+	s.scheduleCompletion()
+}
+
+// touch initializes the scratch accounting for a link in this epoch.
+func (s *Sim) touch(lk topo.LinkID) {
+	if s.epoch[lk] == s.curEpoch {
+		return
+	}
+	s.epoch[lk] = s.curEpoch
+	cap := s.Top.Link(lk).CapBps
+	if !s.Top.LinkUsable(lk) {
+		cap = 0
+	}
+	s.capRem[lk] = cap
+	s.nShare[lk] = 0
+	s.demand[lk] = 0
+	s.touched = append(s.touched, lk)
+}
+
+// scheduleCompletion (re)arms the next completion event.
+func (s *Sim) scheduleCompletion() {
+	if s.completionEv != nil {
+		s.Eng.Cancel(s.completionEv)
+		s.completionEv = nil
+	}
+	best := -1.0
+	for _, f := range s.active {
+		if f.Rate <= 0 {
+			continue
+		}
+		t := f.Remaining / f.Rate
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	if best < 0 {
+		return
+	}
+	delay := sim.Time(best * float64(sim.Second))
+	s.completionEv = s.Eng.Schedule(delay, s.completionEvent)
+}

@@ -1,0 +1,341 @@
+// Package netsim is a fluid (flow-level) discrete-event network simulator.
+//
+// Flows are modeled as fluid streams over fixed paths; link bandwidth is
+// shared max-min fairly (progressive filling), the standard abstraction for
+// fabric-scale studies. The simulator recomputes rates whenever the flow set
+// or the topology changes and schedules the next flow completion as a
+// discrete event. Near-simultaneous completions are batched within a small
+// window to keep event counts proportional to communication rounds rather
+// than to individual flows.
+//
+// Congestion is additionally summarized per link as a queue-pressure proxy:
+// the integral of (offered demand - capacity)+ clamped to a per-port buffer,
+// where a flow's offered demand is its fair share at its access link. RoCE
+// PFC dynamics are not packet-simulated; the proxy preserves the relative
+// queue buildups the paper's Figures 14 and 15c compare (see DESIGN.md).
+package netsim
+
+import (
+	"fmt"
+
+	"hpn/internal/hashing"
+	"hpn/internal/route"
+	"hpn/internal/sim"
+	"hpn/internal/topo"
+)
+
+// Flow is one fluid stream between two NIC endpoints.
+type Flow struct {
+	ID    int64
+	Src   route.Endpoint
+	Dst   route.Endpoint
+	Tuple hashing.FiveTuple
+
+	// Bits is the total flow size; Remaining counts down to completion.
+	Bits      float64
+	Remaining float64
+
+	// Rate is the current max-min allocation in bits/second (0 if stalled).
+	Rate float64
+
+	// Path is the current forwarding path (directed links).
+	Path []topo.LinkID
+	// Port is the source NIC port in use (the plane, under dual-plane).
+	Port int
+
+	// PinnedPort >= 0 requests a specific source port (RDMA connections
+	// with pre-established disjoint paths pin their plane); -1 lets the
+	// bond choose.
+	PinnedPort int
+
+	// Stalled marks a flow blackholed by a failure, awaiting reconvergence.
+	Stalled bool
+
+	// OnComplete, if set, runs when the flow finishes. It may start new
+	// flows.
+	OnComplete func(now sim.Time, f *Flow)
+
+	StartedAt sim.Time
+	DoneAt    sim.Time
+
+	index int // position in Sim.active; -1 once finished
+}
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.index < 0 && !f.Stalled }
+
+// Sim couples an engine, a topology and a router into a running network.
+type Sim struct {
+	Eng *sim.Engine
+	Top *topo.Topology
+	R   *route.Router
+
+	// BatchWindow merges completions that fall within this span of the
+	// earliest one; it trades a bounded (sub-window) error in individual
+	// flow completion times for far fewer rate recomputations.
+	BatchWindow sim.Time
+
+	// PortBufferBytes caps the per-port queue proxy (switch buffer share).
+	PortBufferBytes float64
+
+	active []*Flow
+	nextID int64
+	sport  uint16
+
+	lastAdvance  sim.Time
+	completionEv *sim.Event
+	mutating     int
+
+	probes map[topo.LinkID]*LinkProbe
+
+	// scratch arrays for the allocator, epoch-stamped to avoid O(links)
+	// clearing on every recompute.
+	capRem   []float64
+	nShare   []int32
+	demand   []float64
+	epoch    []uint32
+	curEpoch uint32
+	touched  []topo.LinkID
+
+	rerouteScheduled bool
+
+	flowLog    []FlowRecord
+	flowLogCap int
+
+	// Stats
+	CompletedFlows int64
+	CompletedBits  float64
+	// AggBits / CoreBits count completed-flow bits whose path transited an
+	// Aggregation / Core switch — the cross-segment and cross-pod traffic
+	// the paper measures on Aggregation switches (Figure 15b).
+	AggBits  float64
+	CoreBits float64
+}
+
+// New returns a simulator over the given topology. The router is created
+// internally with default convergence delay; adjust via s.R.
+func New(eng *sim.Engine, top *topo.Topology) *Sim {
+	s := &Sim{
+		Eng:             eng,
+		Top:             top,
+		R:               route.New(top),
+		BatchWindow:     10 * sim.Microsecond,
+		PortBufferBytes: 8 << 20,
+		sport:           49152,
+		probes:          map[topo.LinkID]*LinkProbe{},
+		capRem:          make([]float64, len(top.Links)),
+		nShare:          make([]int32, len(top.Links)),
+		demand:          make([]float64, len(top.Links)),
+		epoch:           make([]uint32, len(top.Links)),
+	}
+	return s
+}
+
+// FlowOpts customizes StartFlow.
+type FlowOpts struct {
+	// SrcPort pins the source NIC port (plane); -1 lets the bond hash pick.
+	SrcPort int
+	// Sport sets the transport source port of the 5-tuple; 0 auto-assigns.
+	// Path selection (Appendix B) sweeps this to steer ECMP.
+	Sport uint16
+	// OnComplete runs when the flow finishes.
+	OnComplete func(now sim.Time, f *Flow)
+}
+
+// StartFlow injects a new flow of the given size (bytes) and returns it.
+// The flow may start stalled if the fabric currently blackholes it.
+func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*Flow, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive flow size %v", bytes)
+	}
+	s.beginMutate()
+	defer s.endMutate()
+
+	sport := opt.Sport
+	if sport == 0 {
+		s.sport++
+		if s.sport < 49152 {
+			s.sport = 49152
+		}
+		sport = s.sport
+	}
+	tuple := hashing.FiveTuple{
+		SrcAddr: src.Addr(), DstAddr: dst.Addr(),
+		SrcPort: sport, DstPort: 4791, Proto: 17,
+	}
+	f := &Flow{
+		ID: s.nextID, Src: src, Dst: dst, Tuple: tuple,
+		Bits: bytes * 8, Remaining: bytes * 8,
+		PinnedPort: -1, OnComplete: opt.OnComplete,
+		StartedAt: s.Eng.Now(), index: -1,
+	}
+	s.nextID++
+	if opt.SrcPort >= 0 {
+		f.PinnedPort = opt.SrcPort
+	}
+	if err := s.routeFlow(f); err != nil {
+		return nil, err
+	}
+	f.index = len(s.active)
+	s.active = append(s.active, f)
+	if f.Stalled {
+		s.scheduleReroute(s.R.ConvergenceDelay)
+	}
+	return f, nil
+}
+
+// routeFlow (re)computes a flow's port and path from current fabric state.
+// On blackhole or no-port it marks the flow stalled with the best-known
+// path (possibly nil).
+func (s *Sim) routeFlow(f *Flow) error {
+	now := s.Eng.Now()
+	tryPort := func(port int) bool {
+		path, blackholed, err := s.R.Path(f.Src, f.Dst, port, f.Tuple, now)
+		f.Port = port
+		f.Path = path
+		f.Stalled = blackholed || err != nil
+		if f.Stalled {
+			f.Rate = 0
+		}
+		return !f.Stalled
+	}
+	// A pinned port is honored while it works end-to-end; failover falls
+	// back to the bond choice (the ports share QP context, so this is
+	// transparent to the application, §4).
+	if p := f.PinnedPort; p >= 0 &&
+		s.Top.LinkUsable(s.Top.AccessLink(f.Src.Host, f.Src.NIC, p)) && tryPort(p) {
+		return nil
+	}
+	p, err := s.R.PickAccessPort(f.Src, f.Dst, f.Tuple, now)
+	if err != nil {
+		f.Stalled = true
+		f.Path = nil
+		f.Rate = 0
+		return nil // flow exists but cannot move; not a caller error
+	}
+	tryPort(p)
+	return nil
+}
+
+// beginMutate/endMutate bracket state changes: time is advanced first so
+// in-flight transfers are accounted at old rates; rates are recomputed once
+// after the outermost mutation completes.
+func (s *Sim) beginMutate() {
+	if s.mutating == 0 {
+		s.advance()
+	}
+	s.mutating++
+}
+
+func (s *Sim) endMutate() {
+	s.mutating--
+	if s.mutating == 0 {
+		s.recompute()
+	}
+}
+
+// advance integrates flow progress and probe accumulators up to now.
+func (s *Sim) advance() {
+	now := s.Eng.Now()
+	dt := (now - s.lastAdvance).Seconds()
+	if dt > 0 {
+		for _, f := range s.active {
+			if f.Rate > 0 {
+				f.Remaining -= f.Rate * dt
+				if f.Remaining < 0 {
+					f.Remaining = 0
+				}
+			}
+		}
+		for _, p := range s.probes {
+			p.integrate(s.lastAdvance.Seconds(), dt, s.PortBufferBytes)
+		}
+	}
+	s.lastAdvance = now
+}
+
+// completionEvent fires at the earliest projected completion; it harvests
+// every flow within BatchWindow of completion.
+func (s *Sim) completionEvent() {
+	s.beginMutate()
+	now := s.Eng.Now()
+	window := s.BatchWindow.Seconds()
+	var done []*Flow
+	for i := 0; i < len(s.active); {
+		f := s.active[i]
+		if f.Rate > 0 && (f.Remaining <= 0 || f.Remaining/f.Rate <= window) {
+			f.Remaining = 0
+			f.DoneAt = now
+			s.removeActive(f)
+			done = append(done, f)
+			continue // removeActive swapped a new flow into i
+		}
+		i++
+	}
+	for _, f := range done {
+		s.CompletedFlows++
+		s.CompletedBits += f.Bits
+		s.countTiers(f)
+		s.logFlow(f)
+		if f.OnComplete != nil {
+			f.OnComplete(now, f)
+		}
+	}
+	s.endMutate()
+}
+
+func (s *Sim) removeActive(f *Flow) {
+	i := f.index
+	last := len(s.active) - 1
+	s.active[i] = s.active[last]
+	s.active[i].index = i
+	s.active = s.active[:last]
+	f.index = -1
+}
+
+// AbortFlow removes an in-flight flow without completing it (no callback
+// fires). Aborting a finished flow is a no-op.
+func (s *Sim) AbortFlow(f *Flow) {
+	if f == nil || f.index < 0 {
+		return
+	}
+	s.beginMutate()
+	defer s.endMutate()
+	s.removeActive(f)
+	f.Stalled = false
+	f.Rate = 0
+}
+
+// countTiers attributes a completed flow's bits to the highest tier its
+// path visited.
+func (s *Sim) countTiers(f *Flow) {
+	agg, core := false, false
+	for _, lk := range f.Path {
+		switch s.Top.Node(s.Top.Link(lk).To).Kind {
+		case topo.KindAgg:
+			agg = true
+		case topo.KindCore:
+			core = true
+		}
+	}
+	if agg {
+		s.AggBits += f.Bits
+	}
+	if core {
+		s.CoreBits += f.Bits
+	}
+}
+
+// ActiveFlows returns the number of in-flight flows (including stalled).
+func (s *Sim) ActiveFlows() int { return len(s.active) }
+
+// StalledFlows returns the number of currently blackholed flows.
+func (s *Sim) StalledFlows() int {
+	n := 0
+	for _, f := range s.active {
+		if f.Stalled {
+			n++
+		}
+	}
+	return n
+}

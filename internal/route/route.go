@@ -1,0 +1,315 @@
+// Package route computes forwarding paths over a topo.Topology the way the
+// HPN control plane does: valley-free up/down routing with per-switch ECMP
+// hashing, /32 host routes learned from ARP (§4.2), dual-plane confinement
+// (§6.1), per-port hashing at the Core tier (§7), and BGP-style convergence
+// after failures.
+//
+// The router distinguishes two views of a failed link:
+//
+//   - the physical view (topo link state), which determines whether traffic
+//     placed on the link actually moves, and
+//   - the converged view, which determines whether the link is still inside
+//     ECMP groups. Between a failure and BGP convergence the dead link keeps
+//     attracting hashed flows — they blackhole, exactly like production.
+//
+// The source-side bond (LACP mode 4) fails over instantly on LOCAL port
+// failure (physical signal), but learns about REMOTE failures only through
+// routing convergence.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"hpn/internal/hashing"
+	"hpn/internal/sim"
+	"hpn/internal/topo"
+)
+
+// Endpoint names one NIC of one host; the unit that owns an IP address.
+type Endpoint struct {
+	Host int
+	NIC  int
+}
+
+// Addr returns the abstract IP of the endpoint, the value used in
+// FiveTuple.{Src,Dst}Addr.
+func (e Endpoint) Addr() uint32 { return uint32(e.Host)<<8 | uint32(e.NIC) }
+
+// EndpointOfAddr inverts Addr.
+func EndpointOfAddr(a uint32) Endpoint { return Endpoint{Host: int(a >> 8), NIC: int(a & 0xff)} }
+
+// Router answers path queries over one topology.
+type Router struct {
+	T *topo.Topology
+	// ConvergenceDelay is the time between a link/node failure and the
+	// withdrawal of its routes from all ECMP groups (BGP + host-route
+	// propagation). Recovery uses the same delay.
+	ConvergenceDelay sim.Time
+
+	// downAdj[node][peer] lists this node's downlinks toward peer.
+	downAdj map[topo.NodeID]map[topo.NodeID][]topo.LinkID
+
+	// failedAt records when a link last went down; entries are cleared on
+	// recovery. Used to decide whether routing has converged around it.
+	failedAt map[topo.LinkID]sim.Time
+	// nodeFailedAt is the same for whole nodes (ToR crash).
+	nodeFailedAt map[topo.NodeID]sim.Time
+}
+
+// New builds a router for t. ConvergenceDelay defaults to one second, a
+// production-plausible BGP propagation time.
+func New(t *topo.Topology) *Router {
+	r := &Router{
+		T:                t,
+		ConvergenceDelay: 1 * sim.Second,
+		downAdj:          make(map[topo.NodeID]map[topo.NodeID][]topo.LinkID),
+		failedAt:         map[topo.LinkID]sim.Time{},
+		nodeFailedAt:     map[topo.NodeID]sim.Time{},
+	}
+	for _, n := range t.Nodes {
+		if len(n.Downlinks) == 0 {
+			continue
+		}
+		m := make(map[topo.NodeID][]topo.LinkID)
+		for _, lk := range n.Downlinks {
+			peer := t.Link(lk).To
+			m[peer] = append(m[peer], lk)
+		}
+		r.downAdj[n.ID] = m
+	}
+	return r
+}
+
+// NoteLinkFailed records the failure instant of a cable; the caller is
+// responsible for flipping the topo state.
+func (r *Router) NoteLinkFailed(l topo.LinkID, at sim.Time) {
+	r.failedAt[l] = at
+	r.failedAt[r.T.Link(l).Reverse] = at
+}
+
+// NoteLinkRecovered clears failure bookkeeping; recovered links re-enter
+// ECMP groups after ConvergenceDelay (modeled by treating a fresh recovery
+// as instantly usable — BGP re-advertisement is fast and adding a path
+// early is harmless, unlike removing one late).
+func (r *Router) NoteLinkRecovered(l topo.LinkID) {
+	delete(r.failedAt, l)
+	delete(r.failedAt, r.T.Link(l).Reverse)
+}
+
+// NoteNodeFailed / NoteNodeRecovered are the node-level equivalents.
+func (r *Router) NoteNodeFailed(n topo.NodeID, at sim.Time) { r.nodeFailedAt[n] = at }
+
+// NoteNodeRecovered clears a node failure.
+func (r *Router) NoteNodeRecovered(n topo.NodeID) { delete(r.nodeFailedAt, n) }
+
+// converged reports whether routing has reacted to the failure of l by now.
+func (r *Router) converged(l topo.LinkID, now sim.Time) bool {
+	lk := r.T.Link(l)
+	if at, ok := r.failedAt[l]; ok && now < at+r.ConvergenceDelay {
+		return false
+	}
+	if at, ok := r.nodeFailedAt[lk.From]; ok && now < at+r.ConvergenceDelay {
+		return false
+	}
+	if at, ok := r.nodeFailedAt[lk.To]; ok && now < at+r.ConvergenceDelay {
+		return false
+	}
+	return true
+}
+
+// inGroup reports whether link l is currently a member of ECMP groups:
+// usable links always are; failed links remain until convergence.
+func (r *Router) inGroup(l topo.LinkID, now sim.Time) bool {
+	if r.T.LinkUsable(l) {
+		return true
+	}
+	return !r.converged(l, now)
+}
+
+// PickAccessPort chooses the source NIC port (and therefore the plane) for
+// a new flow, as the host bond does: hash over the live candidates. A port
+// is a candidate when the local access link is physically up (instant local
+// knowledge) and the destination's same-plane access is not known-dead
+// (converged remote knowledge).
+func (r *Router) PickAccessPort(src, dst Endpoint, tuple hashing.FiveTuple, now sim.Time) (int, error) {
+	srcNIC := r.T.Hosts[src.Host].NICs[src.NIC]
+	dstNIC := r.T.Hosts[dst.Host].NICs[dst.NIC]
+	var candidates []int
+	for p, lk := range srcNIC.Ports {
+		if !r.T.LinkUsable(lk) {
+			continue // local failure: bond excludes instantly
+		}
+		// Under dual-plane, port p can only deliver to the destination's
+		// port p; a converged remote withdrawal makes the whole plane
+		// unusable for this destination. Single-plane fabrics can reach
+		// any surviving destination port from any source port.
+		if r.T.Planes > 1 && p < len(dstNIC.Ports) {
+			dl := dstNIC.Ports[p]
+			if !r.T.LinkUsable(dl) && r.converged(dl, now) {
+				continue // remote failure, routing has converged: avoid
+			}
+		}
+		candidates = append(candidates, p)
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("route: no live access port from %v to %v", src, dst)
+	}
+	h := hashing.Hasher{Seed: 0xb0dd} // bond hash; one function per host is fine
+	return candidates[h.Select(tuple, len(candidates))], nil
+}
+
+// Path walks the fabric from src to dst for the given tuple, entering at
+// srcPort. It returns the ordered directed links. If a hop hashes onto a
+// link that is physically dead but not yet withdrawn, the walk still takes
+// it and reports blackholed=true: the flow will stall there until routing
+// converges and the path is recomputed.
+func (r *Router) Path(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, now sim.Time) (path []topo.LinkID, blackholed bool, err error) {
+	t := r.T
+	if src.Host == dst.Host {
+		return nil, false, fmt.Errorf("route: intra-host traffic does not use the fabric")
+	}
+	access := t.Hosts[src.Host].NICs[src.NIC].Ports[srcPort]
+	if !t.LinkUsable(access) {
+		return nil, false, fmt.Errorf("route: source access port %d down", srcPort)
+	}
+	path = append(path, access)
+	cur := t.Link(access).To
+	arriving := access
+
+	const maxHops = 16
+	for hop := 0; hop < maxHops; hop++ {
+		node := t.Node(cur)
+		// Delivery: is dst attached to this node via a link still in the
+		// FIB? Once the /32 is withdrawn (dead + converged) the ToR routes
+		// the prefix back up through the fabric toward the surviving ToR —
+		// the §4.2 ARP-proxy + host-route behaviour.
+		if node.Kind == topo.KindToR {
+			if down, ok := r.deliveryLink(cur, dst); ok {
+				if t.LinkUsable(down) {
+					return append(path, down), false, nil
+				}
+				if !r.converged(down, now) {
+					return append(path, down), true, nil
+				}
+				// Withdrawn: fall through to the ECMP walk.
+			}
+		}
+		group, down := r.ecmpGroup(cur, dst, now)
+		if len(group) == 0 {
+			return path, true, fmt.Errorf("route: empty ECMP group at %s toward %v", node.Name, dst)
+		}
+		var chosen topo.LinkID
+		if node.PerPortHash && down {
+			// §7: per-(ingress port, dst pod) hash at the Core, falling
+			// back to the 5-tuple hash if the preferred member is dead.
+			ph := hashing.PortHasher{Seed: node.HashSeed}
+			dstPod := t.Hosts[dst.Host].Pod
+			pick := ph.Select(t.Link(arriving).ToPort, dstPod, len(group))
+			chosen = group[pick]
+			if !t.LinkUsable(chosen) && r.converged(chosen, now) {
+				chosen = group[ph.FallbackSelect(tuple, len(group))]
+			}
+		} else {
+			h := hashing.Hasher{Seed: node.HashSeed}
+			chosen = group[h.Select(tuple, len(group))]
+		}
+		path = append(path, chosen)
+		if !t.LinkUsable(chosen) {
+			return path, true, nil
+		}
+		arriving = chosen
+		cur = t.Link(chosen).To
+	}
+	return path, true, fmt.Errorf("route: no delivery within %d hops", maxHops)
+}
+
+// deliveryLink returns the ToR->host downlink if dst has an access port on
+// tor (whatever its state; the caller handles dead delivery links).
+func (r *Router) deliveryLink(tor topo.NodeID, dst Endpoint) (topo.LinkID, bool) {
+	for _, up := range r.T.Hosts[dst.Host].NICs[dst.NIC].Ports {
+		l := r.T.Link(up)
+		if l.To == tor {
+			return l.Reverse, true
+		}
+	}
+	return topo.None, false
+}
+
+// ecmpGroup returns the ECMP members at node toward dst, and whether the
+// group points downward (toward hosts). Members are links still advertised
+// (inGroup); physically-dead-but-advertised members are included on purpose.
+func (r *Router) ecmpGroup(node topo.NodeID, dst Endpoint, now sim.Time) ([]topo.LinkID, bool) {
+	t := r.T
+	n := t.Node(node)
+	dstHost := t.Hosts[dst.Host]
+
+	switch n.Kind {
+	case topo.KindToR:
+		// Up toward the Aggs (dst not attached here).
+		return r.filterGroup(n.Uplinks, now), false
+
+	case topo.KindAgg:
+		if dstHost.Pod == n.Pod {
+			// Down to the ToR(s) that advertise dst's /32 in this plane.
+			var group []topo.LinkID
+			for _, up := range dstHost.NICs[dst.NIC].Ports {
+				al := t.Link(up)
+				tor := t.Node(al.To)
+				if t.Planes > 1 && tor.Plane != n.Plane {
+					continue
+				}
+				// The ToR advertises the /32 only while the access link is
+				// alive (or not yet withdrawn).
+				if !r.inGroup(up, now) {
+					continue
+				}
+				for _, dl := range r.downAdj[node][al.To] {
+					if r.inGroup(dl, now) {
+						group = append(group, dl)
+					}
+				}
+			}
+			sortLinks(group)
+			return group, true
+		}
+		// Up toward the Cores.
+		return r.filterGroup(n.Uplinks, now), false
+
+	case topo.KindCore:
+		// Down to the Aggs of dst's pod (this plane, by construction).
+		var group []topo.LinkID
+		for _, agg := range t.Aggs(dstHost.Pod, n.Plane) {
+			for _, dl := range r.downAdj[node][agg] {
+				if r.inGroup(dl, now) {
+					group = append(group, dl)
+				}
+			}
+		}
+		sortLinks(group)
+		return group, true
+	}
+	return nil, false
+}
+
+func (r *Router) filterGroup(links []topo.LinkID, now sim.Time) []topo.LinkID {
+	out := make([]topo.LinkID, 0, len(links))
+	for _, l := range links {
+		if r.inGroup(l, now) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func sortLinks(ls []topo.LinkID) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+}
+
+// GroupSizeAtToR returns the ECMP fan-out a host faces at its ToR — the
+// search space of Table 1 for this fabric.
+func (r *Router) GroupSizeAtToR(host, nic, port int) int {
+	access := r.T.Hosts[host].NICs[nic].Ports[port]
+	tor := r.T.Link(access).To
+	return len(r.T.Node(tor).Uplinks)
+}

@@ -1,0 +1,201 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a monotonic virtual clock in nanoseconds and a binary-heap
+// scheduler of timed callbacks. All time in the simulator is virtual; nothing
+// here touches wall-clock time, which keeps every experiment reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations expressed as virtual time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration to virtual time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns t expressed in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration for human-readable output.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index; -1 once popped or canceled
+	cancel bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e != nil && e.cancel }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts events executed so far; useful for runaway detection.
+	Processed uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled (not yet fired) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay. A negative delay is treated as zero (fn runs
+// at the current instant, after already-queued events for this instant).
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute virtual time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Canceling a fired or already-canceled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next event, advancing the clock to its timestamp.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile fires events while cond() remains true and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		if e.events[0].cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}
+
+// NextAt returns the time of the next pending event and ok=false if none.
+func (e *Engine) NextAt() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

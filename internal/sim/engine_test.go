@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	// Double-cancel must be a no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := New()
+	var ev2 *Event
+	fired := false
+	e.Schedule(1, func() { e.Cancel(ev2) })
+	ev2 = e.Schedule(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.ScheduleAt(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 10 only", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock = %v, want 12 after RunUntil", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestEngineScheduleInsideEvent(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.Schedule(10, tick)
+		}
+	}
+	e.Schedule(10, tick)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	e := New()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported an event")
+	}
+	ev := e.Schedule(7, func() {})
+	if at, ok := e.NextAt(); !ok || at != 7 {
+		t.Fatalf("NextAt = %v,%v want 7,true", at, ok)
+	}
+	e.Cancel(ev)
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("NextAt returned canceled event")
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless of
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (2 * Second).String(); got != "2s" {
+		t.Fatalf("String = %q, want 2s", got)
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Fatal("Seconds conversion wrong")
+	}
+}

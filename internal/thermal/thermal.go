@@ -1,0 +1,93 @@
+// Package thermal models §5.1's single-chip power and cooling problem: the
+// 51.2Tbps switching chip draws 45% more power than the 25.6T generation
+// while keeping the same 105°C junction limit, so neither heat pipes nor
+// the vendor's original vapor-chamber heat sink can hold it at full load —
+// only the optimized VC (denser wicked pillars over the die center, +15%
+// cooling efficiency) keeps the junction below Tjmax in all pressure
+// scenarios (Figures 9 and 10).
+package thermal
+
+// ChipPowerWatts returns the power draw of a single-chip switch by
+// capacity (Tbps), following the vendor generation curve the paper plots in
+// Figure 9a (each generation roughly +40-50%, with 51.2T = 1.45 x 25.6T).
+func ChipPowerWatts(capacityTbps float64) float64 {
+	switch {
+	case capacityTbps <= 3.2:
+		return 80
+	case capacityTbps <= 6.4:
+		return 130
+	case capacityTbps <= 12.8:
+		return 210
+	case capacityTbps <= 25.6:
+		return 350
+	default:
+		return 350 * 1.45 // 507.5W: the 45% step of §5.1
+	}
+}
+
+// TjMaxC is the chip's maximum junction temperature; exceeding it triggers
+// over-temperature protection and halts all data transmission.
+const TjMaxC = 105.0
+
+// AmbientC is the in-chassis inlet air temperature under the paper's
+// high-pressure scenarios.
+const AmbientC = 45.0
+
+// Cooling is one heat-sink solution, characterized by its junction-to-air
+// thermal resistance (°C per watt).
+type Cooling struct {
+	Name    string
+	ThetaJA float64 // °C/W
+}
+
+// The three candidate solutions of Figure 9b. The optimized VC divides the
+// original VC's resistance by 1.15 (the +15% cooling-efficiency gain from
+// the re-wicked pillar layout of Figure 10).
+func Solutions() []Cooling {
+	const originalVC = 0.1333
+	return []Cooling{
+		{Name: "Heat Pipe", ThetaJA: 0.1538},
+		{Name: "Original VC", ThetaJA: originalVC},
+		{Name: "Optimized VC", ThetaJA: originalVC / 1.15},
+	}
+}
+
+// JunctionC returns the junction temperature at the given power.
+func (c Cooling) JunctionC(powerW float64) float64 {
+	return AmbientC + c.ThetaJA*powerW
+}
+
+// AllowedPowerW is the largest sustained power that keeps the junction at
+// or below TjMax — the "Allowed Operation Power" bars of Figure 9b.
+func (c Cooling) AllowedPowerW() float64 {
+	return (TjMaxC - AmbientC) / c.ThetaJA
+}
+
+// Sustains reports whether the solution can run a chip of the given power
+// at full load without tripping over-temperature protection.
+func (c Cooling) Sustains(powerW float64) bool {
+	return c.JunctionC(powerW) <= TjMaxC
+}
+
+// Figure9bRow is one bar of Figure 9b.
+type Figure9bRow struct {
+	Solution      string
+	AllowedPowerW float64
+	ChipPowerW    float64
+	Sustains      bool
+}
+
+// Figure9b evaluates all solutions against the 51.2T chip.
+func Figure9b() []Figure9bRow {
+	p := ChipPowerWatts(51.2)
+	out := make([]Figure9bRow, 0, 3)
+	for _, c := range Solutions() {
+		out = append(out, Figure9bRow{
+			Solution:      c.Name,
+			AllowedPowerW: c.AllowedPowerW(),
+			ChipPowerW:    p,
+			Sustains:      c.Sustains(p),
+		})
+	}
+	return out
+}

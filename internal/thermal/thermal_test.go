@@ -1,0 +1,73 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerStep(t *testing.T) {
+	p51 := ChipPowerWatts(51.2)
+	p25 := ChipPowerWatts(25.6)
+	if math.Abs(p51/p25-1.45) > 1e-9 {
+		t.Fatalf("51.2T/25.6T power ratio = %v, want 1.45 (the +45%% step)", p51/p25)
+	}
+	// Monotone in capacity.
+	caps := []float64{3.2, 6.4, 12.8, 25.6, 51.2}
+	prev := 0.0
+	for _, c := range caps {
+		p := ChipPowerWatts(c)
+		if p <= prev {
+			t.Fatalf("power not increasing at %vT", c)
+		}
+		prev = p
+	}
+}
+
+func TestOnlyOptimizedVCSustains(t *testing.T) {
+	rows := Figure9b()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Figure9bRow{}
+	for _, r := range rows {
+		byName[r.Solution] = r
+	}
+	if byName["Heat Pipe"].Sustains {
+		t.Error("heat pipe should not sustain the 51.2T chip")
+	}
+	if byName["Original VC"].Sustains {
+		t.Error("original VC should not sustain the 51.2T chip")
+	}
+	if !byName["Optimized VC"].Sustains {
+		t.Error("optimized VC must sustain the 51.2T chip")
+	}
+}
+
+func TestOptimizedVCGain(t *testing.T) {
+	s := Solutions()
+	orig, opt := s[1], s[2]
+	gain := opt.AllowedPowerW() / orig.AllowedPowerW()
+	if math.Abs(gain-1.15) > 1e-9 {
+		t.Fatalf("optimized VC gain = %v, want 1.15", gain)
+	}
+}
+
+func TestJunctionTemperature(t *testing.T) {
+	c := Solutions()[2]
+	if tj := c.JunctionC(0); tj != AmbientC {
+		t.Fatalf("zero-power junction = %v, want ambient", tj)
+	}
+	p := ChipPowerWatts(51.2)
+	if tj := c.JunctionC(p); tj > TjMaxC {
+		t.Fatalf("optimized VC junction %v exceeds Tjmax", tj)
+	}
+}
+
+func TestOverTemperatureTripsLowerSolutions(t *testing.T) {
+	p := ChipPowerWatts(51.2)
+	for _, c := range Solutions()[:2] {
+		if c.JunctionC(p) <= TjMaxC {
+			t.Fatalf("%s junction unexpectedly within limit", c.Name)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package topo
+
+// This file derives the paper's architecture-comparison tables from first
+// principles (port budgets and oversubscription ratios) rather than
+// hardcoding conclusions. The constants are the published parameters of each
+// architecture.
+
+// PathComplexity is one row of Table 1: the search space a host faces when
+// looking for disjoint equal-cost paths.
+type PathComplexity struct {
+	Arch          string
+	GPUs          int
+	Tiers         int
+	Participating string // switches whose hash participates in load balance
+	SearchSpace   int    // number of candidate links to consider
+}
+
+// Table1 reproduces "Table 1: Complexity of path selection".
+//
+// HPN: dual-plane pins the whole downstream path once a ToR uplink is
+// chosen, so only the ToR's links participate: O(AggsPerPlane).
+// 3-tier fabrics multiply the per-tier fanouts the paper reports.
+func Table1() []PathComplexity {
+	hpn := DefaultHPN()
+	return []PathComplexity{
+		{
+			Arch:  "Pod in HPN",
+			GPUs:  hpn.SegmentsPerPod * hpn.ActiveHostsPerSegment * hpn.Rails,
+			Tiers: 2, Participating: "ToR",
+			SearchSpace: hpn.AggsPerPlane,
+		},
+		{
+			Arch: "SuperPod", GPUs: 16384, Tiers: 3,
+			Participating: "ToR+Aggregation+Core",
+			SearchSpace:   32 * 32 * 4,
+		},
+		{
+			Arch: "Jupiter", GPUs: 26000, Tiers: 3,
+			Participating: "ToR+Aggregation",
+			SearchSpace:   8 * 256,
+		},
+		{
+			Arch: "Fat tree (k=48)", GPUs: 27648, Tiers: 3,
+			Participating: "ToR+Aggregation",
+			SearchSpace:   48 * 48,
+		},
+	}
+}
+
+// ScaleRow is one row of Table 2: the tier1/tier2 GPU scale unlocked by each
+// mechanism, cumulatively.
+type ScaleRow struct {
+	Mechanism  string
+	Tier1GPUs  int
+	Tier2GPUs  int
+	Tier1Note  string
+	Tier2Note  string
+	Multiplier float64 // scale factor contributed to the affected tier
+}
+
+// chip51 models the 51.2Tbps single-chip switch: 128x400G equivalent port
+// budget (§5.1).
+const (
+	chipPorts400G  = 128
+	torAggBundle   = 2 // traditional Clos bundles parallel ToR-Agg links
+	railsPerHost   = 8
+	aggCoreUplinks = 8 // the 15:1 oversubscription keeps 8 of 64 1:1 uplinks
+)
+
+// Table2 reproduces "Table 2: Key mechanisms affecting maximal scale".
+//
+// Derivations (each from the 128x400G chip port budget):
+//
+//   - 51.2T Clos: 1:1 ToR splits ports 64 down / 64 up; a 400G GPU per down
+//     port gives 64 GPUs in tier1. In tier2 a 1:1 Agg has 64 ToR-facing
+//     ports and the traditional fabric bundles 2 parallel links per
+//     ToR-Agg pair, supporting 32 ToRs x 64 GPUs = 2K.
+//   - Dual-ToR: each NIC's 2x200G is served by two ToRs, so each ToR's down
+//     port carries half a GPU's bandwidth: both tiers double.
+//   - Rail-optimized: the 8 NICs of a host land on 8 different ToR sets, so
+//     a segment spans 8x more GPUs (tier1 x8 -> 1K). Tier2 port math is
+//     unchanged.
+//   - Dual-plane: each Agg only carries one plane, halving the ToR links it
+//     must terminate: tier2 doubles.
+//   - 15:1 oversubscription: Aggs keep only 8 core uplinks, freeing 56
+//     more ports for segments: x(120/64) = x1.875 -> 15 segments, 15K GPUs.
+func Table2() []ScaleRow {
+	tor1to1Down := chipPorts400G / 2 // 64
+	tier1 := tor1to1Down             // 64 GPUs (one 400G GPU per port)
+	tier2 := tor1to1Down / torAggBundle * tier1
+
+	rows := []ScaleRow{{
+		Mechanism: "51.2Tbps Clos",
+		Tier1GPUs: tier1, Tier2GPUs: tier2,
+		Tier1Note: "64 down ports x 400G, 1:1", Tier2Note: "32 ToRs x 64 GPUs",
+		Multiplier: 1,
+	}}
+
+	// Dual-ToR: x2 both tiers.
+	tier1 *= 2
+	tier2 *= 2
+	rows = append(rows, ScaleRow{
+		Mechanism: "Dual-ToR", Tier1GPUs: tier1, Tier2GPUs: tier2,
+		Tier1Note: "each NIC served by 2 ToRs", Tier2Note: "x2", Multiplier: 2,
+	})
+
+	// Rail-optimized: tier1 x8.
+	tier1 *= railsPerHost
+	rows = append(rows, ScaleRow{
+		Mechanism: "Rail-optimized", Tier1GPUs: tier1, Tier2GPUs: tier2,
+		Tier1Note: "8 rails x 128 GPUs = 1K per segment", Tier2Note: "-", Multiplier: 8,
+	})
+
+	// Dual-plane: tier2 x2.
+	tier2 *= 2
+	rows = append(rows, ScaleRow{
+		Mechanism: "Dual-plane", Tier1GPUs: tier1, Tier2GPUs: tier2,
+		Tier1Note: "-", Tier2Note: "Agg terminates one plane only", Multiplier: 2,
+	})
+
+	// 15:1 oversubscription: tier2 x1.875 (120 ToR-facing ports vs 64).
+	over := float64(chipPorts400G-aggCoreUplinks) / float64(chipPorts400G/2)
+	tier2 = int(float64(tier2) * over)
+	rows = append(rows, ScaleRow{
+		Mechanism: "Oversubscription of 15:1", Tier1GPUs: tier1, Tier2GPUs: tier2,
+		Tier1Note: "-", Tier2Note: "120 of 128 Agg ports face ToRs", Multiplier: over,
+	})
+	return rows
+}
+
+// Tier2Design is one column of Table 4: any-to-any vs rail-only tier2.
+type Tier2Design struct {
+	Name          string
+	Tier2Planes   int
+	GPUsPerPod    int
+	CommLimits    string
+	SegmentsOfPod int
+}
+
+// Table4 reproduces "Table 4: Any-to-any tier2 vs. Rail-only tier2".
+// Rail-only removes cross-rail Agg connectivity: each of the 8 rails gets
+// its own plane pair (16 planes) and each Agg serves 8x more segments.
+func Table4() []Tier2Design {
+	hpn := DefaultHPN()
+	anySegments := hpn.SegmentsPerPod
+	segGPUs := hpn.ActiveHostsPerSegment * hpn.Rails
+	railOnlySegments := anySegments * hpn.Rails
+	return []Tier2Design{
+		{
+			Name: "Any-to-any tier2", Tier2Planes: 2,
+			GPUsPerPod: anySegments * segGPUs, SegmentsOfPod: anySegments,
+			CommLimits: "None",
+		},
+		{
+			Name: "Rail-only tier2", Tier2Planes: 2 * hpn.Rails,
+			GPUsPerPod: railOnlySegments * segGPUs, SegmentsOfPod: railOnlySegments,
+			CommLimits: "Rail-only",
+		},
+	}
+}
+
+// OversubscriptionToR returns the ToR down/up capacity ratio of an HPN
+// config (paper: 1.067:1 counting active ports only).
+func OversubscriptionToR(cfg HPNConfig) float64 {
+	down := float64(cfg.ActiveHostsPerSegment) * cfg.AccessGbps
+	up := float64(cfg.AggsPerPlane) * cfg.TorAggGbps
+	return down / up
+}
+
+// OversubscriptionAggCore returns the Agg down/up ratio (paper: 15:1).
+func OversubscriptionAggCore(cfg HPNConfig) float64 {
+	down := float64(cfg.SegmentsPerPod*cfg.Rails) * cfg.TorAggGbps // per plane
+	up := float64(cfg.AggCoreUplinks) * cfg.CoreGbps
+	return down / up
+}

@@ -1,0 +1,144 @@
+// Package workload models the training side of the paper: LLM
+// specifications, the traffic each parallelism strategy generates (Table 3),
+// the production job mix (Figure 6), checkpointing economics (Figure 4,
+// §2.3), per-host connection counts (Figure 3), the general cloud-computing
+// traffic baseline (Figure 1), and an event-driven training-iteration
+// simulator that produces the bursty NIC pattern of Figure 2 and the
+// end-to-end performance numbers of Figures 15, 16 and 18.
+package workload
+
+import "fmt"
+
+// ModelSpec describes an LLM and the calibration constants that place its
+// absolute throughput in the paper's ranges. The architecture comparisons
+// never depend on these constants: both fabrics share them.
+type ModelSpec struct {
+	Name   string
+	Params float64 // parameter count
+	Layers int
+	Hidden int
+	SeqLen int
+	// DTypeBytes is the gradient/activation element size (2 = fp16/bf16).
+	DTypeBytes float64
+
+	// EffectiveTFLOPs is the realized per-GPU compute throughput
+	// (hardware peak x MFU), calibrated per model size.
+	EffectiveTFLOPs float64
+	// BatchPerGPU is the sequences each GPU processes per iteration (the
+	// global batch scales with the job, keeping per-GPU compute constant
+	// across scales, as production jobs do).
+	BatchPerGPU float64
+	// Overlap is the fraction of compute time available to hide
+	// communication (gradient sync overlapping backward).
+	Overlap float64
+}
+
+// The paper's representative models (§9.1).
+var (
+	LLaMa7B = ModelSpec{
+		Name: "LLaMa-7B", Params: 7e9, Layers: 32, Hidden: 4096, SeqLen: 2048,
+		DTypeBytes: 2, EffectiveTFLOPs: 150, BatchPerGPU: 1, Overlap: 0.25,
+	}
+	LLaMa13B = ModelSpec{
+		Name: "LLaMa-13B", Params: 13e9, Layers: 40, Hidden: 5120, SeqLen: 2048,
+		DTypeBytes: 2, EffectiveTFLOPs: 180, BatchPerGPU: 1, Overlap: 0.05,
+	}
+	GPT175B = ModelSpec{
+		Name: "GPT-175B", Params: 175e9, Layers: 96, Hidden: 12288, SeqLen: 2048,
+		DTypeBytes: 2, EffectiveTFLOPs: 90, BatchPerGPU: 0.143, Overlap: 0.05,
+	}
+)
+
+// Parallelism is a TP/PP/DP decomposition.
+type Parallelism struct {
+	TP, PP, DP int
+}
+
+// GPUs returns the total GPU count of the decomposition.
+func (p Parallelism) GPUs() int { return p.TP * p.PP * p.DP }
+
+// Validate rejects degenerate decompositions.
+func (p Parallelism) Validate() error {
+	if p.TP <= 0 || p.PP <= 0 || p.DP <= 0 {
+		return fmt.Errorf("workload: non-positive parallelism %+v", p)
+	}
+	return nil
+}
+
+// Traffic is one row of Table 3: the per-operation communication volume a
+// parallel strategy generates.
+type Traffic struct {
+	Strategy  string
+	Bytes     float64
+	Operation string
+}
+
+// microTokensPerPPSend is the pipeline chunk: activations of a 256-token
+// slice cross the stage boundary per send.
+const microTokensPerPPSend = 256
+
+// tpSyncTokens is the aggregate token count per TP synchronization,
+// calibrated so GPT-3 175B reproduces Table 3's 560MB (the TP AllReduce
+// batches several microbatches' activations).
+const tpSyncTokens = 22800
+
+// DPVolume is the data-parallel AllReduce message: each GPU's gradient
+// shard, params/(TP*PP) elements. For GPT-3 175B with TP=8, PP=8 this is
+// 175e9/64 * 2B = 5.5GB — Table 3's headline number, derived, not assumed.
+func DPVolume(m ModelSpec, p Parallelism) float64 {
+	return m.Params / float64(p.TP*p.PP) * m.DTypeBytes
+}
+
+// PPVolume is the per-send pipeline activation message:
+// microTokens x hidden x dtype (~6MB for GPT-3 175B).
+func PPVolume(m ModelSpec) float64 {
+	return microTokensPerPPSend * float64(m.Hidden) * m.DTypeBytes
+}
+
+// TPVolume is the per-sync tensor-parallel AllReduce volume
+// (~560MB for GPT-3 175B).
+func TPVolume(m ModelSpec) float64 {
+	return tpSyncTokens * float64(m.Hidden) * m.DTypeBytes
+}
+
+// Table3 reproduces "Table 3: Traffic patterns of different parallelisms"
+// for the paper's example (GPT-3 175B, TP=8, PP=8, DP=512).
+func Table3() []Traffic {
+	m := GPT175B
+	p := Parallelism{TP: 8, PP: 8, DP: 512}
+	return []Traffic{
+		{Strategy: "DP", Bytes: DPVolume(m, p), Operation: "AllReduce"},
+		{Strategy: "PP", Bytes: PPVolume(m), Operation: "Send/Recv"},
+		{Strategy: "TP", Bytes: TPVolume(m), Operation: "AllReduce/AllGather"},
+	}
+}
+
+// ComputeSeconds returns one iteration's compute time: the standard
+// ~6 FLOPs per parameter per token for forward+backward, at BatchPerGPU
+// sequences per GPU, divided by realized throughput. It is independent of
+// nGPUs because the global batch scales with the job.
+func ComputeSeconds(m ModelSpec, nGPUs int) float64 {
+	flopsPerSample := 6 * m.Params * float64(m.SeqLen)
+	return m.BatchPerGPU * flopsPerSample / (m.EffectiveTFLOPs * 1e12)
+}
+
+// IterationSeconds combines compute with measured communication time:
+// gradient sync overlaps the backward pass up to Overlap x compute; the
+// remainder is exposed.
+func IterationSeconds(m ModelSpec, nGPUs int, commSeconds float64) float64 {
+	c := ComputeSeconds(m, nGPUs)
+	exposed := commSeconds - m.Overlap*c
+	if exposed < 0 {
+		exposed = 0
+	}
+	return c + exposed
+}
+
+// SamplesPerSecond converts an iteration time to the paper's throughput
+// metric (global batch = BatchPerGPU x nGPUs).
+func SamplesPerSecond(m ModelSpec, nGPUs int, iterSeconds float64) float64 {
+	if iterSeconds <= 0 {
+		return 0
+	}
+	return m.BatchPerGPU * float64(nGPUs) / iterSeconds
+}

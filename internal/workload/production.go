@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+
+	"hpn/internal/metrics"
+	"hpn/internal/sim"
+)
+
+// This file reproduces the production-statistics figures of §2: the job-size
+// distribution (Figure 6), checkpointing intervals (Figure 4), per-host
+// connection counts (Figure 3), and the general cloud traffic baseline
+// (Figure 1).
+
+// JobSizeDist synthesizes the production job-size distribution of Figure 6:
+// 96.3% of jobs need at most 1K GPUs and none exceeds ~3K (jobs are almost
+// all powers-of-two-ish allocations).
+func JobSizeDist(jobs int, seed uint64) *metrics.Dist {
+	rng := sim.NewRNG(seed)
+	d := &metrics.Dist{Name: "gpus-per-job"}
+	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	bigSizes := []int{1280, 1536, 2048, 2304, 2816}
+	for i := 0; i < jobs; i++ {
+		if rng.Float64() < 0.963 {
+			// Small jobs skew toward the lower sizes.
+			idx := int(rng.Float64() * rng.Float64() * float64(len(sizes)))
+			if idx >= len(sizes) {
+				idx = len(sizes) - 1
+			}
+			d.Add(float64(sizes[idx]))
+		} else {
+			d.Add(float64(bigSizes[rng.Intn(len(bigSizes))]))
+		}
+	}
+	return d
+}
+
+// CheckpointModel captures §2.3's checkpointing economics.
+type CheckpointModel struct {
+	// BytesPerGPU is the checkpoint size per GPU (~30GB).
+	BytesPerGPU float64
+	// SaveSeconds is the pause to write one checkpoint (~100s).
+	SaveSeconds float64
+	// TargetOverhead is the tolerated steady-state throughput loss (~5%).
+	TargetOverhead float64
+}
+
+// DefaultCheckpointModel returns the paper's production values.
+func DefaultCheckpointModel() CheckpointModel {
+	return CheckpointModel{BytesPerGPU: 30e9, SaveSeconds: 100, TargetOverhead: 0.05}
+}
+
+// IntervalSeconds returns the checkpoint interval that keeps overhead at
+// the target: interval = saveTime/overhead (100s / 5% = 2000s floor), which
+// customers round up to hours — the 2-4h of Figure 4.
+func (c CheckpointModel) IntervalSeconds() float64 {
+	if c.TargetOverhead <= 0 {
+		return 0
+	}
+	return c.SaveSeconds / c.TargetOverhead
+}
+
+// Figure4Intervals returns the checkpoint intervals (hours) of four
+// representative jobs: teams run at a few multiples of the minimum
+// economic interval.
+func Figure4Intervals() []float64 {
+	base := DefaultCheckpointModel().IntervalSeconds() / 3600 // ~0.56h
+	multipliers := []float64{4, 5.4, 6.3, 7.2}                // 2.2h..4h
+	out := make([]float64, len(multipliers))
+	for i, m := range multipliers {
+		out[i] = base * m
+	}
+	return out
+}
+
+// RollbackCostDollars estimates the §2.3 failure cost: a crash loses on
+// average half a checkpoint interval of work across the whole job.
+// The paper's example: $20K/hour for 3K GPUs, ~1.5h lost => ~$30K.
+func RollbackCostDollars(intervalHours, dollarsPerHour float64) float64 {
+	return intervalHours / 2 * dollarsPerHour
+}
+
+// ConnectionsPerHost reproduces Figure 3: an LLM host runs few dozen to a
+// few hundred connections — ring neighbors x rails x disjoint conns x a
+// small service overhead — versus hundreds of thousands for cloud hosts.
+func ConnectionsPerHost(jobs int, seed uint64) *metrics.Dist {
+	rng := sim.NewRNG(seed)
+	d := &metrics.Dist{Name: "conns-per-host"}
+	for i := 0; i < jobs; i++ {
+		rails := 8
+		connsPerPair := 2 + rng.Intn(3)    // 2-4 disjoint conns
+		neighbors := 2 * (1 + rng.Intn(2)) // ring (2) or tree-ish (4)
+		service := 10 + rng.Intn(30)       // management/storage sessions
+		d.Add(float64(rails*connsPerPair*neighbors + service))
+	}
+	return d
+}
+
+// CloudTrafficPoint is one sample of the Figure 1 baseline.
+type CloudTrafficPoint struct {
+	Hour        float64
+	InGbps      float64
+	OutGbps     float64
+	Connections float64
+}
+
+// CloudTraffic synthesizes 24h of general cloud-computing traffic:
+// hundreds of thousands of connections, utilization well under 20% of NIC
+// capacity, changing slowly on the hourly scale (a diurnal wave plus
+// noise).
+func CloudTraffic(seed uint64) []CloudTrafficPoint {
+	rng := sim.NewRNG(seed)
+	out := make([]CloudTrafficPoint, 0, 24*12)
+	for i := 0; i < 24*12; i++ { // 5-minute samples
+		h := float64(i) / 12
+		diurnal := 0.5 + 0.45*wave(h)
+		in := 1.2*diurnal + 0.08*rng.Normal(0, 1)
+		outv := 0.9*diurnal + 0.06*rng.Normal(0, 1)
+		conns := 120e3*diurnal + 8e3*rng.Normal(0, 1)
+		if in < 0 {
+			in = 0
+		}
+		if outv < 0 {
+			outv = 0
+		}
+		out = append(out, CloudTrafficPoint{Hour: h, InGbps: in, OutGbps: outv, Connections: conns})
+	}
+	return out
+}
+
+// wave is a smooth diurnal curve peaking mid-day.
+func wave(hour float64) float64 {
+	return 0.5 * (1 + math.Cos((hour-14)/24*2*math.Pi))
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+
+	"hpn/internal/collective"
+	"hpn/internal/metrics"
+	"hpn/internal/netsim"
+	"hpn/internal/route"
+	"hpn/internal/sim"
+)
+
+// Job is a training job: a model plus its parallelism and the hosts it
+// occupies. The canonical Megatron-style placement is assumed: TP groups
+// fill a host's 8 GPUs (NVLink domain), PP stages are consecutive host
+// blocks, DP replicas repeat the block.
+type Job struct {
+	Model ModelSpec
+	Par   Parallelism
+	// Hosts is the ordered host list; length must equal GPUs()/8.
+	Hosts []int
+}
+
+// NewJob checks shape consistency and returns the job.
+func NewJob(m ModelSpec, p Parallelism, hosts []int) (*Job, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	gpus := p.GPUs()
+	if gpus%8 != 0 {
+		return nil, fmt.Errorf("workload: %d GPUs not host-aligned", gpus)
+	}
+	if len(hosts) != gpus/8 {
+		return nil, fmt.Errorf("workload: %d hosts provided, need %d", len(hosts), gpus/8)
+	}
+	return &Job{Model: m, Par: p, Hosts: hosts}, nil
+}
+
+// DPGroups returns the host groups that synchronize gradients together.
+// With TP=8 (one host per TP group), each PP stage's replicas form one DP
+// group; with TP=1, hostsPerReplica = PP and gradient sync spans replicas
+// stage-wise all the same.
+func (j *Job) DPGroups() [][]int {
+	hostsPerReplica := len(j.Hosts) / j.Par.DP
+	if hostsPerReplica == 0 {
+		// Replicas are sub-host (e.g. TP=1, DP=nGPUs): every host holds
+		// GPUs of several replicas and all hosts synchronize together in
+		// one hierarchical AllReduce.
+		return [][]int{append([]int(nil), j.Hosts...)}
+	}
+	groups := make([][]int, 0, hostsPerReplica)
+	for s := 0; s < hostsPerReplica; s++ {
+		g := make([]int, 0, j.Par.DP)
+		for d := 0; d < j.Par.DP; d++ {
+			g = append(g, j.Hosts[d*hostsPerReplica+s])
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// PPPairs returns consecutive-stage host pairs within each replica (the
+// Send/Recv endpoints).
+func (j *Job) PPPairs() [][2]int {
+	hostsPerReplica := len(j.Hosts) / j.Par.DP
+	hostsPerStage := hostsPerReplica / j.Par.PP
+	if hostsPerStage == 0 {
+		return nil
+	}
+	var pairs [][2]int
+	for d := 0; d < j.Par.DP; d++ {
+		base := d * hostsPerReplica
+		for s := 0; s+1 < j.Par.PP; s++ {
+			a := j.Hosts[base+s*hostsPerStage]
+			b := j.Hosts[base+(s+1)*hostsPerStage]
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
+}
+
+// GradientSyncBytes is the per-GPU gradient message of one iteration.
+func (j *Job) GradientSyncBytes() float64 { return DPVolume(j.Model, j.Par) }
+
+// Trainer runs the job's iterations over a simulated fabric.
+type Trainer struct {
+	Net *netsim.Sim
+	Job *Job
+	Cfg collective.Config
+
+	// groups are the per-DP-group collective groups.
+	groups []*collective.Group
+	// ppGroup serves pipeline sends (one group spanning all hosts is not
+	// needed; sends go host-to-host directly).
+
+	// Iterations is the completed-iteration count.
+	Iterations int
+	// Perf records (time, samples/s) per completed iteration.
+	Perf metrics.Series
+	// CommSeconds records measured gradient-sync time per iteration.
+	CommSeconds metrics.Series
+
+	// OnIteration, if set, fires after each iteration.
+	OnIteration func(iter int, now sim.Time)
+
+	// MicrobatchesPerIteration scales the pipeline-parallel activation
+	// traffic each iteration exchanges across stage boundaries (§7). Zero
+	// disables PP traffic (PP=1 jobs have none anyway).
+	MicrobatchesPerIteration int
+
+	stopAfter int
+	running   bool
+}
+
+// NewTrainer builds collective groups for the job over the fabric.
+func NewTrainer(net *netsim.Sim, job *Job, cfg collective.Config) (*Trainer, error) {
+	t := &Trainer{Net: net, Job: job, Cfg: cfg, MicrobatchesPerIteration: 8}
+	for _, hosts := range job.DPGroups() {
+		if len(hosts) < 2 {
+			continue // DP=1: no gradient traffic
+		}
+		g, err := collective.NewGroup(net, cfg, hosts, 8)
+		if err != nil {
+			return nil, err
+		}
+		t.groups = append(t.groups, g)
+	}
+	return t, nil
+}
+
+// Start schedules `iterations` training iterations; the caller then drives
+// the engine. Each iteration is [compute delay] -> [gradient sync comm] ->
+// next, which produces Figure 2's periodic bursts on NIC probes. The
+// recorded samples/s applies the overlap model of IterationSeconds.
+func (t *Trainer) Start(iterations int) error {
+	if t.running {
+		return fmt.Errorf("workload: trainer already running")
+	}
+	if len(t.groups) == 0 {
+		return fmt.Errorf("workload: job has no gradient traffic to simulate (DP=1)")
+	}
+	t.running = true
+	t.stopAfter = t.Iterations + iterations
+	t.beginIteration()
+	return nil
+}
+
+func (t *Trainer) beginIteration() {
+	if t.Iterations >= t.stopAfter {
+		t.running = false
+		return
+	}
+	m := t.Job.Model
+	compute := ComputeSeconds(m, t.Job.Par.GPUs())
+	t.Net.Eng.Schedule(sim.Time(compute*float64(sim.Second)), t.syncPhase)
+}
+
+// syncPhase launches gradient synchronization on every DP group
+// concurrently: Multi-AllReduce when TP fills the host (all traffic
+// inter-host), hierarchical AllReduce otherwise.
+func (t *Trainer) syncPhase() {
+	start := t.Net.Eng.Now()
+	pending := len(t.groups)
+	bytes := t.Job.GradientSyncBytes()
+	done := func(now sim.Time, _ collective.Result) {
+		pending--
+		if pending > 0 {
+			return
+		}
+		t.completeIteration(now - start)
+	}
+	for _, g := range t.groups {
+		var err error
+		if t.Job.Par.TP >= 8 {
+			_, err = g.StartMultiAllReduce(bytes, done)
+		} else {
+			_, err = g.StartAllReduce(bytes, done)
+		}
+		if err != nil {
+			pending--
+		}
+	}
+
+	// Pipeline-parallel Send/Recv across stage boundaries: small volumes
+	// (Table 3: ~6MB per send), exchanged in both directions (activations
+	// forward, gradients backward). These are the only flows that may
+	// cross pods under the §7 placement policy.
+	if t.Job.Par.PP > 1 && t.MicrobatchesPerIteration > 0 {
+		ppBytes := PPVolume(t.Job.Model) * float64(t.MicrobatchesPerIteration)
+		ppDone := func(now sim.Time, _ *netsim.Flow) { done(now, collective.Result{}) }
+		for _, pair := range t.Job.PPPairs() {
+			for r := 0; r < 8; r++ {
+				for dir := 0; dir < 2; dir++ {
+					a, b := pair[0], pair[1]
+					if dir == 1 {
+						a, b = b, a
+					}
+					pending++
+					_, err := t.Net.StartFlow(
+						route.Endpoint{Host: a, NIC: r},
+						route.Endpoint{Host: b, NIC: r},
+						ppBytes,
+						netsim.FlowOpts{SrcPort: -1, OnComplete: ppDone},
+					)
+					if err != nil {
+						pending--
+					}
+				}
+			}
+		}
+	}
+	if pending == 0 {
+		t.completeIteration(0)
+	}
+}
+
+func (t *Trainer) completeIteration(comm sim.Time) {
+	now := t.Net.Eng.Now()
+	t.Iterations++
+	m := t.Job.Model
+	iter := IterationSeconds(m, t.Job.Par.GPUs(), comm.Seconds())
+	t.Perf.Add(now.Seconds(), SamplesPerSecond(m, t.Job.Par.GPUs(), iter))
+	t.CommSeconds.Add(now.Seconds(), comm.Seconds())
+	if t.OnIteration != nil {
+		t.OnIteration(t.Iterations, now)
+	}
+	t.beginIteration()
+}
+
+// Running reports whether iterations remain scheduled.
+func (t *Trainer) Running() bool { return t.running }
+
+// MeanSamplesPerSecond summarizes completed iterations, skipping the first
+// (cold start).
+func (t *Trainer) MeanSamplesPerSecond() float64 {
+	if t.Perf.Len() <= 1 {
+		return t.Perf.Mean()
+	}
+	sum := 0.0
+	for _, p := range t.Perf.Points[1:] {
+		sum += p.V
+	}
+	return sum / float64(t.Perf.Len()-1)
+}

@@ -1,0 +1,152 @@
+// Package hpn is the public API of hpnsim, a reproduction of "Alibaba HPN:
+// A Data Center Network for Large Language Model Training" (SIGCOMM 2024).
+//
+// It exposes:
+//
+//   - cluster construction for HPN, its ablations, and the DCN+ baseline
+//     (NewHPN / NewDCN, re-exported from the core architecture package);
+//   - job placement, collectives and training simulation helpers;
+//   - the experiment registry: one runnable experiment per table and figure
+//     of the paper (Experiments, Run), each returning a Report with the
+//     same rows/series the paper presents plus paper-vs-measured claims.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for results.
+package hpn
+
+import (
+	"fmt"
+	"strings"
+
+	"hpn/internal/metrics"
+)
+
+// Table is one printable table of an experiment report.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Claim is one paper-vs-measured comparison line.
+type Claim struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// Report is an experiment's full output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Series []*metrics.Series
+	Claims []Claim
+	Notes  []string
+}
+
+// AddTable appends a table.
+func (r *Report) AddTable(t Table) { r.Tables = append(r.Tables, t) }
+
+// AddClaim appends a paper-vs-measured claim.
+func (r *Report) AddClaim(metric, paper, measured string, holds bool) {
+	r.Claims = append(r.Claims, Claim{Metric: metric, Paper: paper, Measured: measured, Holds: holds})
+}
+
+// AddNote appends a free-form note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Holds reports whether every claim held.
+func (r *Report) Holds() bool {
+	for _, c := range r.Claims {
+		if !c.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as aligned text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString("\n")
+		if t.Title != "" {
+			fmt.Fprintf(&b, "-- %s --\n", t.Title)
+		}
+		writeAligned(&b, t.Header, t.Rows)
+	}
+	if len(r.Claims) > 0 {
+		b.WriteString("\npaper vs measured:\n")
+		rows := make([][]string, 0, len(r.Claims))
+		for _, c := range r.Claims {
+			ok := "HOLDS"
+			if !c.Holds {
+				ok = "MISS"
+			}
+			rows = append(rows, []string{c.Metric, c.Paper, c.Measured, ok})
+		}
+		writeAligned(&b, []string{"metric", "paper", "measured", "verdict"}, rows)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func writeAligned(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// fmtF renders a float compactly for table cells.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// pct renders a ratio as a percentage string.
+func pct(ratio float64) string { return fmt.Sprintf("%.1f%%", ratio*100) }

@@ -1,0 +1,87 @@
+package hpn
+
+import (
+	"testing"
+
+	"hpn/internal/failure"
+	"hpn/internal/sim"
+)
+
+// A compressed soak run: train for two virtual hours while NIC-ToR links
+// fail at (accelerated) production-like rates with slow repairs. The §2.3
+// arithmetic says a single-point-of-failure fabric turns every such fault
+// into a crash-and-rollback; HPN's dual-ToR turns them all into transient
+// degradation. This test drives both through the same fault schedule.
+func TestSoakFailuresUnderProductionRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	const (
+		hosts     = 8
+		horizon   = 2 * sim.Hour
+		faults    = 3
+		interFail = 35 * sim.Minute
+		repair    = 4 * sim.Minute // beyond the collective timeout
+	)
+
+	run := func(dualToR bool) (iterations int, crashed bool) {
+		cfg := SmallHPN(2, hosts/2, 4)
+		if !dualToR {
+			cfg.DualToR = false
+			cfg.DualPlane = false
+		}
+		c, err := NewHPN(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed, err := c.PlaceJob(hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := NewJob(LLaMa7B, Parallelism{TP: 1, PP: 1, DP: hosts * 8}, placed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewTrainer(c, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := failure.Injector{Net: c.Net}
+		rng := sim.NewRNG(1234)
+		at := 10 * sim.Minute
+		for i := 0; i < faults; i++ {
+			host := placed[rng.Intn(len(placed))]
+			link := c.Topo.AccessLink(host, rng.Intn(8), 0)
+			inj.FailLinkAt(at, link)
+			inj.RecoverLinkAt(at+repair, link)
+			at += interFail
+		}
+		w := failure.NewWatchdog(c.Net)
+		w.Watch(horizon)
+		if err := tr.Start(1 << 30); err != nil {
+			t.Fatal(err)
+		}
+		c.Eng.RunUntil(horizon)
+		crashed, _ = w.Crashed()
+		return tr.Iterations, crashed
+	}
+
+	dualIters, dualCrashed := run(true)
+	singleIters, singleCrashed := run(false)
+
+	if dualCrashed {
+		t.Error("dual-ToR job crashed during the soak; §9.3 reports none in 8 months")
+	}
+	if !singleCrashed {
+		t.Error("single-ToR job survived multi-minute repairs; it must crash")
+	}
+	// Dual-ToR should complete nearly the fault-free iteration budget.
+	wantIters := int(horizon.Seconds() / 0.65) // ~0.57s/iter plus slack
+	if dualIters < wantIters*9/10 {
+		t.Errorf("dual-ToR completed %d iterations, want >= %d", dualIters, wantIters*9/10)
+	}
+	if singleIters >= dualIters {
+		t.Errorf("single-ToR (%d iters incl. post-crash stall) should trail dual-ToR (%d)",
+			singleIters, dualIters)
+	}
+}
