@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test bench
+
+# Full gate: formatting, static checks, build, tests under the race detector.
+ci: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=Telemetry -benchmem .

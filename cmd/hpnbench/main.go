@@ -24,10 +24,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		scale  = flag.String("scale", "quick", "quick | full")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csvDir = flag.String("csv", "", "also dump recorded time series as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale    = flag.String("scale", "quick", "quick | full")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csvDir   = flag.String("csv", "", "also dump recorded time series as CSV into this directory")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON covering every cluster built (one trace process each)")
+		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 	)
 	flag.Parse()
 
@@ -36,6 +38,16 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	var hub *hpn.TelemetryHub
+	if *traceOut != "" || *promOut != "" {
+		opt := hpn.DefaultTelemetryOptions()
+		opt.Trace = *traceOut != ""
+		// Experiments build many clusters; bound the trace so a full sweep
+		// cannot exhaust memory.
+		opt.MaxTraceEvents = 2_000_000
+		hub = hpn.EnableDefaultTelemetry(opt)
 	}
 
 	var s hpn.Scale
@@ -83,8 +95,44 @@ func main() {
 			failed++
 		}
 	}
+	if hub != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, func(f *os.File) error {
+				_, err := hub.Tracer.WriteTo(f)
+				return err
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "hpnbench: trace: %v\n", err)
+				failed++
+			} else {
+				fmt.Printf("wrote %s (%d events, %d dropped)\n",
+					*traceOut, hub.Tracer.Events(), hub.Tracer.Dropped())
+			}
+		}
+		if *promOut != "" {
+			if err := writeFile(*promOut, func(f *os.File) error {
+				return hub.Registry.WritePrometheus(f)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "hpnbench: metrics: %v\n", err)
+				failed++
+			} else {
+				fmt.Printf("wrote %s\n", *promOut)
+			}
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "hpnbench: %d experiment(s) with failing claims\n", failed)
 		os.Exit(1)
 	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

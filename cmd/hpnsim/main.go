@@ -19,14 +19,23 @@ import (
 
 func main() {
 	var (
-		arch  = flag.String("arch", "hpn", "hpn | dcn")
-		model = flag.String("model", "llama-13b", "llama-7b | llama-13b | gpt-175b")
-		hosts = flag.Int("hosts", 16, "hosts (8 GPUs each)")
-		tp    = flag.Int("tp", 8, "tensor parallelism")
-		pp    = flag.Int("pp", 1, "pipeline parallelism")
-		iters = flag.Int("iters", 5, "iterations to simulate")
+		arch     = flag.String("arch", "hpn", "hpn | dcn")
+		model    = flag.String("model", "llama-13b", "llama-7b | llama-13b | gpt-175b")
+		hosts    = flag.Int("hosts", 16, "hosts (8 GPUs each)")
+		tp       = flag.Int("tp", 8, "tensor parallelism")
+		pp       = flag.Int("pp", 1, "pipeline parallelism")
+		iters    = flag.Int("iters", 5, "iterations to simulate")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 	)
 	flag.Parse()
+
+	var hub *hpn.TelemetryHub
+	if *traceOut != "" || *promOut != "" {
+		opt := hpn.DefaultTelemetryOptions()
+		opt.Trace = *traceOut != ""
+		hub = hpn.EnableDefaultTelemetry(opt)
+	}
 
 	var m hpn.ModelSpec
 	switch strings.ToLower(*model) {
@@ -95,6 +104,38 @@ func main() {
 		fmt.Printf("%-5d  %-12.1f  %-12.4f\n", i+1, p.V, tr.CommSeconds.Points[i].V)
 	}
 	fmt.Printf("mean samples/s: %.1f\n", tr.MeanSamplesPerSecond())
+
+	if hub != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, func(f *os.File) error {
+				_, err := hub.Tracer.WriteTo(f)
+				return err
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s (%d events)\n", *traceOut, hub.Tracer.Events())
+		}
+		if *promOut != "" {
+			if err := writeFile(*promOut, func(f *os.File) error {
+				return hub.Registry.WritePrometheus(f)
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *promOut)
+		}
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"hpn"
 	"hpn/internal/hashing"
@@ -19,10 +20,14 @@ import (
 )
 
 func main() {
+	// Record everything: the flow log below lands in the telemetry registry
+	// as the "flowlog.tsv" artifact.
+	hub := hpn.EnableDefaultTelemetry(hpn.DefaultTelemetryOptions())
 	cluster, err := hpn.NewHPN(hpn.SmallHPN(2, 8, 8))
 	if err != nil {
 		log.Fatal(err)
 	}
+	cluster.Net.EnableFlowLog(0)
 	src := route.Endpoint{Host: 0, NIC: 0}
 	dst := route.Endpoint{Host: 8, NIC: 0} // other segment, same rail
 
@@ -89,6 +94,19 @@ func main() {
 		}
 		fmt.Printf("  conn %d: %6.1f MiB%s\n", i, c.SentBytes/(1<<20), marker)
 	}
+
+	// Dump the completed-flow log through the registry's exporter surface.
+	out, err := os.Create("pathselection_flows.tsv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hub.Registry.Export("flowlog.tsv", out); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote pathselection_flows.tsv (%d flows)\n", len(cluster.Net.FlowLog()))
 }
 
 func tupleOf(src, dst route.Endpoint, sport uint16) hashing.FiveTuple {

@@ -3,6 +3,7 @@ package hpn
 import (
 	"hpn/internal/collective"
 	"hpn/internal/core"
+	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 	"hpn/internal/workload"
 )
@@ -97,4 +98,30 @@ func NewJob(m ModelSpec, p Parallelism, hosts []int) (*Job, error) {
 // cluster's native collective configuration.
 func NewTrainer(c *Cluster, job *Job) (*Trainer, error) {
 	return workload.NewTrainer(c.Net, job, c.CollectiveConfig())
+}
+
+// Telemetry surface.
+
+// TelemetryHub bundles one run's observability: a Chrome-trace Tracer, a
+// counter/gauge Registry with Prometheus/JSON exporters, and per-cluster
+// samplers.
+type TelemetryHub = telemetry.Hub
+
+// TelemetryOptions configures a TelemetryHub.
+type TelemetryOptions = telemetry.Options
+
+// DefaultTelemetryOptions enables tracing and a 10ms virtual-time sampler.
+func DefaultTelemetryOptions() TelemetryOptions { return telemetry.DefaultOptions() }
+
+// NewTelemetryHub builds a hub; attach clusters with Cluster.EnableTelemetry.
+func NewTelemetryHub(opt TelemetryOptions) *TelemetryHub { return telemetry.NewHub(opt) }
+
+// EnableDefaultTelemetry installs a hub that every cluster built afterwards
+// attaches to automatically, and returns it. Runners call this once from
+// their flag handling; pass the result's Tracer/Registry to write out
+// artifacts at exit.
+func EnableDefaultTelemetry(opt TelemetryOptions) *TelemetryHub {
+	h := telemetry.NewHub(opt)
+	core.SetDefaultTelemetry(h)
+	return h
 }

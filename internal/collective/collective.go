@@ -19,6 +19,7 @@ import (
 	"hpn/internal/rdma"
 	"hpn/internal/route"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 )
 
 // PathPolicy selects how per-pair connections are established.
@@ -86,6 +87,12 @@ type Group struct {
 
 	// conns[rail][i] connects Hosts[i] -> Hosts[(i+1)%len] on that rail.
 	conns [][]*rdma.ConnSet
+
+	// tid is the group's trace track; groups are keyed by their first host
+	// so concurrent groups render on separate rows.
+	tid       int
+	ctrOps    *telemetry.Counter
+	ctrRounds *telemetry.Counter
 }
 
 // NewGroup establishes ring connections among hosts over all rails.
@@ -100,6 +107,12 @@ func NewGroup(net *netsim.Sim, cfg Config, hosts []int, rails int) (*Group, erro
 		cfg.ChunksPerMessage = 1
 	}
 	g := &Group{Net: net, Cfg: cfg, Hosts: hosts, Rails: rails}
+	g.tid = telemetry.TidCollectiveBase + hosts[0]
+	g.ctrOps = net.Reg.Counter(net.MetricsPrefix+"collective_ops_total", "completed collective operations")
+	g.ctrRounds = net.Reg.Counter(net.MetricsPrefix+"collective_rounds_total", "completed inter-host ring rounds")
+	if net.Trace != nil {
+		net.Trace.NameThread(g.tid, fmt.Sprintf("collective group@%d", hosts[0]))
+	}
 	opts := rdma.EstablishOpts{Conns: cfg.ConnsPerPair, MaxSweep: 512, SportBase: 20000}
 	if cfg.SportBase != 0 {
 		opts.SportBase = cfg.SportBase
@@ -190,9 +203,10 @@ type Op struct {
 	// max(inter completion, start + post) instead of inter + post.
 	postOverlapsInter bool
 
-	step    int
-	pending int
-	onDone  func(now sim.Time, r Result)
+	step       int
+	pending    int
+	roundStart sim.Time
+	onDone     func(now sim.Time, r Result)
 }
 
 // busFactor returns the BusBW multiplier for the op (NCCL conventions).

@@ -7,6 +7,7 @@ import (
 	"hpn/internal/rdma"
 	"hpn/internal/route"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 )
 
 // StartAllReduce begins a hierarchical AllReduce of `bytes` across the
@@ -75,6 +76,13 @@ func (g *Group) StartMultiAllReduce(bytes float64, onDone func(sim.Time, Result)
 func (g *Group) StartSend(srcHost, dstHost, rail int, bytes float64, onDone func(sim.Time, Result)) error {
 	start := g.Net.Eng.Now()
 	done := func(now sim.Time) {
+		g.ctrOps.Inc()
+		if g.Net.Trace != nil {
+			g.Net.Trace.Complete(int64(start), int64(now-start),
+				"collective", "send", g.tid,
+				telemetry.Arg{K: "bytes", V: bytes},
+				telemetry.Arg{K: "rail", V: rail})
+		}
 		if onDone != nil {
 			el := now - start
 			r := Result{Op: "send", Bytes: bytes, Elapsed: el}
@@ -141,11 +149,24 @@ func (o *Op) start() {
 // under the single/blind baselines).
 func (o *Op) runStep() {
 	g := o.g
+	now := g.Net.Eng.Now()
+	if o.step > 0 {
+		// A round just drained: its span is only known now, so it is
+		// emitted retroactively with the recorded start.
+		g.ctrRounds.Inc()
+		if g.Net.Trace != nil {
+			g.Net.Trace.Complete(int64(o.roundStart), int64(now-o.roundStart),
+				"collective", "round", g.tid,
+				telemetry.Arg{K: "op", V: o.name},
+				telemetry.Arg{K: "step", V: o.step})
+		}
+	}
 	if o.step >= o.steps {
 		o.finish()
 		return
 	}
 	o.step++
+	o.roundStart = now
 	nChunks := g.Cfg.ChunksPerMessage
 	sub := o.chunk / float64(nChunks)
 	for _, r := range o.rails {
@@ -186,6 +207,13 @@ func (o *Op) finish() {
 	fire := func() {
 		now := g.Net.Eng.Now()
 		el := now - o.started
+		g.ctrOps.Inc()
+		if g.Net.Trace != nil {
+			g.Net.Trace.Complete(int64(o.started), int64(el),
+				"collective", o.name, g.tid,
+				telemetry.Arg{K: "bytes", V: o.bytes},
+				telemetry.Arg{K: "steps", V: o.steps})
+		}
 		res := Result{Op: o.name, Bytes: o.bytes, Elapsed: el}
 		if el > 0 {
 			res.AlgBW = o.bytes / el.Seconds()

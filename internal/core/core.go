@@ -76,7 +76,9 @@ func NewFrontend(cfg topo.FrontendConfig) (*Cluster, error) {
 
 func wrap(arch Arch, t *topo.Topology) *Cluster {
 	eng := sim.New()
-	return &Cluster{Arch: arch, Topo: t, Eng: eng, Net: netsim.New(eng, t)}
+	c := &Cluster{Arch: arch, Topo: t, Eng: eng, Net: netsim.New(eng, t)}
+	c.EnableTelemetry(defaultHub)
+	return c
 }
 
 // CollectiveConfig returns the communication-library configuration the

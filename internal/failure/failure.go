@@ -9,6 +9,7 @@ import (
 	"hpn/internal/metrics"
 	"hpn/internal/netsim"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 )
 
@@ -61,24 +62,47 @@ type Injector struct {
 	Net *netsim.Sim
 }
 
+// mark timestamps each injection on the failure trace track, distinct from
+// netsim's own link_down/link_up instants: the injector records intent (the
+// scheduled fault), netsim records effect.
+func (in *Injector) mark(name string, id int) {
+	if in.Net.Trace == nil {
+		return
+	}
+	in.Net.Trace.Instant(int64(in.Net.Eng.Now()), "failure", name,
+		telemetry.TidFailure, telemetry.Arg{K: "id", V: id})
+}
+
 // FailLinkAt takes the cable down at the given virtual time.
 func (in *Injector) FailLinkAt(at sim.Time, l topo.LinkID) {
-	in.Net.Eng.ScheduleAt(at, func() { in.Net.FailCable(l) })
+	in.Net.Eng.ScheduleAt(at, func() {
+		in.mark("inject_link_fail", int(l))
+		in.Net.FailCable(l)
+	})
 }
 
 // RecoverLinkAt restores the cable at the given virtual time.
 func (in *Injector) RecoverLinkAt(at sim.Time, l topo.LinkID) {
-	in.Net.Eng.ScheduleAt(at, func() { in.Net.RecoverCable(l) })
+	in.Net.Eng.ScheduleAt(at, func() {
+		in.mark("inject_link_recover", int(l))
+		in.Net.RecoverCable(l)
+	})
 }
 
 // FailNodeAt / RecoverNodeAt are the switch-level equivalents.
 func (in *Injector) FailNodeAt(at sim.Time, n topo.NodeID) {
-	in.Net.Eng.ScheduleAt(at, func() { in.Net.FailNode(n) })
+	in.Net.Eng.ScheduleAt(at, func() {
+		in.mark("inject_node_fail", int(n))
+		in.Net.FailNode(n)
+	})
 }
 
 // RecoverNodeAt restores a switch at the given virtual time.
 func (in *Injector) RecoverNodeAt(at sim.Time, n topo.NodeID) {
-	in.Net.Eng.ScheduleAt(at, func() { in.Net.RecoverNode(n) })
+	in.Net.Eng.ScheduleAt(at, func() {
+		in.mark("inject_node_recover", int(n))
+		in.Net.RecoverNode(n)
+	})
 }
 
 // FlapLinkAt injects link flapping: `cycles` down/up transitions with the
@@ -128,6 +152,11 @@ func (w *Watchdog) Watch(until sim.Time) {
 			} else if now-w.stallSince >= w.Timeout {
 				w.crashed = true
 				w.crashedAt = now
+				if w.Net.Trace != nil {
+					w.Net.Trace.Instant(int64(now), "failure", "watchdog_crash",
+						telemetry.TidFailure,
+						telemetry.Arg{K: "stalled_for_s", V: (now - w.stallSince).Seconds()})
+				}
 				return
 			}
 		} else {

@@ -17,6 +17,12 @@ import (
 func (s *Sim) recompute() {
 	s.curEpoch++
 	s.touched = s.touched[:0]
+	s.ctrRecomputes.Inc()
+	if s.Trace != nil {
+		// One counter sample per allocation round: the active-flow track
+		// lines up recomputation churn against spans in the trace viewer.
+		s.Trace.Counter(int64(s.Eng.Now()), "active_flows", float64(len(s.active)))
+	}
 
 	// Gather running flows and initialize link accounting.
 	unfrozen := make([]*Flow, 0, len(s.active))

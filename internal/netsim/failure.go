@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 )
 
@@ -15,6 +16,8 @@ func (s *Sim) FailCable(l topo.LinkID) {
 	now := s.Eng.Now()
 	s.Top.SetCableState(l, false)
 	s.R.NoteLinkFailed(l, now)
+	s.ctrLinkEvents.Inc()
+	s.instant("link_down", telemetry.Arg{K: "link", V: int(l)})
 	rev := s.Top.Link(l).Reverse
 	for _, f := range s.active {
 		if pathHasLink(f.Path, l) || pathHasLink(f.Path, rev) {
@@ -34,6 +37,8 @@ func (s *Sim) RecoverCable(l topo.LinkID) {
 	defer s.endMutate()
 	s.Top.SetCableState(l, true)
 	s.R.NoteLinkRecovered(l)
+	s.ctrLinkEvents.Inc()
+	s.instant("link_up", telemetry.Arg{K: "link", V: int(l)})
 	s.scheduleReroute(200 * sim.Millisecond)
 }
 
@@ -44,6 +49,9 @@ func (s *Sim) FailNode(n topo.NodeID) {
 	now := s.Eng.Now()
 	s.Top.SetNodeState(n, false)
 	s.R.NoteNodeFailed(n, now)
+	s.ctrLinkEvents.Inc()
+	s.instant("node_down", telemetry.Arg{K: "node", V: int(n)},
+		telemetry.Arg{K: "name", V: s.Top.Node(n).Name})
 	for _, f := range s.active {
 		for _, lk := range f.Path {
 			link := s.Top.Link(lk)
@@ -63,6 +71,9 @@ func (s *Sim) RecoverNode(n topo.NodeID) {
 	defer s.endMutate()
 	s.Top.SetNodeState(n, true)
 	s.R.NoteNodeRecovered(n)
+	s.ctrLinkEvents.Inc()
+	s.instant("node_up", telemetry.Arg{K: "node", V: int(n)},
+		telemetry.Arg{K: "name", V: s.Top.Node(n).Name})
 	s.scheduleReroute(200 * sim.Millisecond)
 }
 
@@ -95,6 +106,7 @@ func (s *Sim) reroutePass() {
 	s.beginMutate()
 	defer s.endMutate()
 	stillStalled := false
+	moved := 0
 	for _, f := range s.active {
 		if !f.Stalled {
 			continue
@@ -105,8 +117,14 @@ func (s *Sim) reroutePass() {
 		}
 		if f.Stalled {
 			stillStalled = true
+		} else {
+			moved++
 		}
 	}
+	s.ctrReroutes.Inc()
+	s.instant("reroute",
+		telemetry.Arg{K: "repathed", V: moved},
+		telemetry.Arg{K: "still_stalled", V: stillStalled})
 	// If flows are still stuck and the fabric is still reconverging (e.g. a
 	// second failure landed during the pass), try once more afterwards.
 	if stillStalled {

@@ -37,11 +37,17 @@ func (r FlowRecord) Gbps() float64 {
 	return r.Bytes * 8 / d / 1e9
 }
 
-// EnableFlowLog starts recording completed flows (bounded to cap entries;
-// 0 means unbounded). Call before injecting traffic.
+// EnableFlowLog starts recording completed flows, bounded to cap entries;
+// cap = 0 means unbounded. Call before injecting traffic. If telemetry is
+// attached, the log is also exposed as the "flowlog.tsv" artifact exporter.
 func (s *Sim) EnableFlowLog(cap int) {
-	s.flowLog = make([]FlowRecord, 0, 1024)
+	pre := 1024
+	if cap > 0 && cap < pre {
+		pre = cap
+	}
+	s.flowLog = make([]FlowRecord, 0, pre)
 	s.flowLogCap = cap
+	s.registerFlowLogExporter()
 }
 
 // FlowLog returns the recorded completions.

@@ -21,6 +21,7 @@ import (
 	"hpn/internal/hashing"
 	"hpn/internal/route"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 )
 
@@ -102,6 +103,16 @@ type Sim struct {
 	flowLog    []FlowRecord
 	flowLogCap int
 
+	// Telemetry surfaces; nil (the default) disables each with one nil
+	// check on the hot paths. See AttachTelemetry.
+	Trace         *telemetry.Tracer
+	Reg           *telemetry.Registry
+	MetricsPrefix string
+	ctrFlows      *telemetry.Counter
+	ctrRecomputes *telemetry.Counter
+	ctrReroutes   *telemetry.Counter
+	ctrLinkEvents *telemetry.Counter
+
 	// Stats
 	CompletedFlows int64
 	CompletedBits  float64
@@ -178,6 +189,10 @@ func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*
 	}
 	f.index = len(s.active)
 	s.active = append(s.active, f)
+	s.instant("flow_start",
+		telemetry.Arg{K: "id", V: f.ID},
+		telemetry.Arg{K: "bytes", V: bytes},
+		telemetry.Arg{K: "stalled", V: f.Stalled})
 	if f.Stalled {
 		s.scheduleReroute(s.R.ConvergenceDelay)
 	}
@@ -277,6 +292,17 @@ func (s *Sim) completionEvent() {
 		s.CompletedBits += f.Bits
 		s.countTiers(f)
 		s.logFlow(f)
+		s.ctrFlows.Inc()
+		if s.Trace != nil {
+			s.Trace.Complete(int64(f.StartedAt), int64(f.DoneAt-f.StartedAt),
+				"netsim", "flow", telemetry.TidNetsim,
+				telemetry.Arg{K: "id", V: f.ID},
+				telemetry.Arg{K: "src", V: fmt.Sprintf("%d:%d", f.Src.Host, f.Src.NIC)},
+				telemetry.Arg{K: "dst", V: fmt.Sprintf("%d:%d", f.Dst.Host, f.Dst.NIC)},
+				telemetry.Arg{K: "bytes", V: f.Bits / 8},
+				telemetry.Arg{K: "port", V: f.Port},
+				telemetry.Arg{K: "hops", V: len(f.Path)})
+		}
 		if f.OnComplete != nil {
 			f.OnComplete(now, f)
 		}

@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"hpn/internal/telemetry"
+)
+
+// AttachTelemetry wires the simulator into a tracer and metrics registry.
+// The tracer receives flow spans, topology-transition instants and an
+// active-flow counter track; the registry gains netsim counters, gauges
+// over live simulator state, and a "flowlog.tsv" artifact exporter (when
+// flow logging is enabled). prefix namespaces metric names so several
+// clusters can share one registry. All arguments are optional: a nil
+// tracer or registry disables that half.
+func (s *Sim) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, prefix string) {
+	s.Trace = tr
+	s.Reg = reg
+	s.MetricsPrefix = prefix
+	s.ctrFlows = reg.Counter(prefix+"netsim_flows_completed_total", "completed fluid flows")
+	s.ctrRecomputes = reg.Counter(prefix+"netsim_recomputes_total", "max-min rate recomputations (allocation rounds)")
+	s.ctrReroutes = reg.Counter(prefix+"netsim_reroute_passes_total", "post-convergence reroute passes")
+	s.ctrLinkEvents = reg.Counter(prefix+"netsim_topology_events_total", "link/node up+down transitions")
+	reg.Gauge(prefix+"netsim_active_flows", "in-flight flows (including stalled)",
+		func() float64 { return float64(s.ActiveFlows()) })
+	reg.Gauge(prefix+"netsim_stalled_flows", "currently blackholed flows",
+		func() float64 { return float64(s.StalledFlows()) })
+	reg.Gauge(prefix+"netsim_completed_bits", "bits delivered by completed flows",
+		func() float64 { return s.CompletedBits })
+	reg.Gauge(prefix+"netsim_agg_bits", "completed-flow bits that transited an Aggregation switch",
+		func() float64 { return s.AggBits })
+	reg.Gauge(prefix+"netsim_core_bits", "completed-flow bits that transited a Core switch",
+		func() float64 { return s.CoreBits })
+	if s.flowLog != nil {
+		s.registerFlowLogExporter()
+	}
+}
+
+// registerFlowLogExporter exposes the completed-flow TSV as a named
+// telemetry artifact, so runners dump it alongside traces and metrics.
+func (s *Sim) registerFlowLogExporter() {
+	if s.Reg == nil || s.flowLog == nil {
+		return
+	}
+	s.Reg.RegisterExporter(s.MetricsPrefix+"flowlog.tsv", s.WriteFlowLog)
+}
+
+// SyncTime integrates in-flight transfers and probe accumulators up to the
+// engine's current instant without changing rates. Samplers call it before
+// reading utilization/queue gauges so values are current as of the tick.
+// It is a no-op while a mutation is already in progress.
+func (s *Sim) SyncTime() {
+	if s.mutating > 0 {
+		return
+	}
+	s.advance()
+}
+
+// UtilBps returns the probe's currently allocated throughput (bits/second).
+func (p *LinkProbe) UtilBps() float64 { return p.util }
+
+// instant emits a topology-transition instant event, if tracing is on.
+func (s *Sim) instant(name string, args ...telemetry.Arg) {
+	if s.Trace == nil {
+		return
+	}
+	s.Trace.Instant(int64(s.Eng.Now()), "netsim", name, telemetry.TidNetsim, args...)
+}

@@ -23,6 +23,7 @@ import (
 
 	"hpn/internal/hashing"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 )
 
@@ -55,6 +56,10 @@ type Router struct {
 	failedAt map[topo.LinkID]sim.Time
 	// nodeFailedAt is the same for whole nodes (ToR crash).
 	nodeFailedAt map[topo.NodeID]sim.Time
+
+	// Tracer, when set, receives BGP-withdrawal/convergence spans and INT
+	// path-trace instants.
+	Tracer *telemetry.Tracer
 }
 
 // New builds a router for t. ConvergenceDelay defaults to one second, a
@@ -86,6 +91,13 @@ func New(t *topo.Topology) *Router {
 func (r *Router) NoteLinkFailed(l topo.LinkID, at sim.Time) {
 	r.failedAt[l] = at
 	r.failedAt[r.T.Link(l).Reverse] = at
+	// Convergence in this router is lazy (queries consult failedAt), so the
+	// withdrawal window is known in full at failure time: emit the span now.
+	if r.Tracer != nil {
+		r.Tracer.Complete(int64(at), int64(r.ConvergenceDelay),
+			"route", "bgp_withdrawal", telemetry.TidRoute,
+			telemetry.Arg{K: "link", V: int(l)})
+	}
 }
 
 // NoteLinkRecovered clears failure bookkeeping; recovered links re-enter
@@ -98,7 +110,14 @@ func (r *Router) NoteLinkRecovered(l topo.LinkID) {
 }
 
 // NoteNodeFailed / NoteNodeRecovered are the node-level equivalents.
-func (r *Router) NoteNodeFailed(n topo.NodeID, at sim.Time) { r.nodeFailedAt[n] = at }
+func (r *Router) NoteNodeFailed(n topo.NodeID, at sim.Time) {
+	r.nodeFailedAt[n] = at
+	if r.Tracer != nil {
+		r.Tracer.Complete(int64(at), int64(r.ConvergenceDelay),
+			"route", "node_withdrawal", telemetry.TidRoute,
+			telemetry.Arg{K: "node", V: int(n)})
+	}
+}
 
 // NoteNodeRecovered clears a node failure.
 func (r *Router) NoteNodeRecovered(n topo.NodeID) { delete(r.nodeFailedAt, n) }

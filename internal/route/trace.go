@@ -6,6 +6,7 @@ import (
 
 	"hpn/internal/hashing"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 )
 
@@ -51,6 +52,12 @@ func (r *Router) Trace(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, 
 		Node: dstNode.ID, Name: dstNode.Name, Kind: dstNode.Kind, Plane: last.Plane,
 		IngressPort: last.ToPort, EgressPort: -1, Egress: topo.None,
 	})
+	if r.Tracer != nil {
+		r.Tracer.Instant(int64(now), "route", "int_probe", telemetry.TidRoute,
+			telemetry.Arg{K: "src", V: fmt.Sprintf("%d:%d", src.Host, src.NIC)},
+			telemetry.Arg{K: "dst", V: fmt.Sprintf("%d:%d", dst.Host, dst.NIC)},
+			telemetry.Arg{K: "hops", V: len(hops)})
+	}
 	return hops, nil
 }
 

@@ -1,0 +1,116 @@
+package sim
+
+import "testing"
+
+func TestDaemonDoesNotKeepRunAlive(t *testing.T) {
+	e := New()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.ScheduleDaemon(10, tick) // self-perpetuating
+	}
+	e.ScheduleDaemon(10, tick)
+	e.Schedule(35, func() {}) // foreground work ends at t=35
+	e.Run()
+	if e.Now() != 35 {
+		t.Errorf("Run stopped at %v, want 35", e.Now())
+	}
+	// Daemons at t=10,20,30 fire while the foreground event is pending.
+	if ticks != 3 {
+		t.Errorf("daemon fired %d times, want 3", ticks)
+	}
+	if e.PendingWork() != 0 {
+		t.Errorf("PendingWork = %d after Run", e.PendingWork())
+	}
+	if e.Pending() == 0 {
+		t.Error("the next daemon tick should remain queued")
+	}
+}
+
+func TestRunWithOnlyDaemonsReturnsImmediately(t *testing.T) {
+	e := New()
+	fired := false
+	e.ScheduleDaemon(5, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Error("daemon fired with no foreground work")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock moved to %v", e.Now())
+	}
+}
+
+func TestRunUntilFiresDaemonsWhileForegroundPending(t *testing.T) {
+	e := New()
+	daemonAt := Time(-1)
+	e.ScheduleDaemon(10, func() { daemonAt = e.Now() })
+	e.Schedule(100, func() {})
+	e.RunUntil(50)
+	if daemonAt != 10 {
+		t.Errorf("daemon fired at %v, want 10", daemonAt)
+	}
+	if e.Now() != 50 {
+		t.Errorf("clock = %v, want 50", e.Now())
+	}
+	if e.PendingWork() != 1 {
+		t.Errorf("PendingWork = %d, want 1 (t=100 event)", e.PendingWork())
+	}
+}
+
+func TestCancelForegroundReleasesRun(t *testing.T) {
+	e := New()
+	ev := e.Schedule(100, func() {})
+	e.ScheduleDaemon(10, func() {})
+	e.Cancel(ev)
+	if e.PendingWork() != 0 {
+		t.Fatalf("PendingWork = %d after cancel, want 0", e.PendingWork())
+	}
+	e.Run() // must return immediately, not fire the daemon
+	if e.Now() != 0 {
+		t.Errorf("clock = %v, want 0", e.Now())
+	}
+}
+
+func TestCancelDaemonKeepsForegroundCount(t *testing.T) {
+	e := New()
+	d := e.ScheduleDaemon(10, func() {})
+	e.Schedule(20, func() {})
+	e.Cancel(d)
+	e.Cancel(d) // double-cancel must not corrupt the count
+	if e.PendingWork() != 1 {
+		t.Fatalf("PendingWork = %d, want 1", e.PendingWork())
+	}
+	e.Run()
+	if e.Now() != 20 {
+		t.Errorf("clock = %v, want 20", e.Now())
+	}
+}
+
+func TestDaemonChainAcrossForegroundGaps(t *testing.T) {
+	// Sampler-style scenario: work arrives in bursts; daemon samples must
+	// fire in every burst but never extend the run past the last burst.
+	e := New()
+	var samples []Time
+	var tick func()
+	tick = func() {
+		samples = append(samples, e.Now())
+		e.ScheduleDaemon(25, tick)
+	}
+	e.ScheduleDaemon(25, tick)
+	e.Schedule(40, func() {})
+	e.Schedule(110, func() {})
+	e.Run()
+	if e.Now() != 110 {
+		t.Errorf("Run ended at %v, want 110", e.Now())
+	}
+	want := []Time{25, 50, 75, 100}
+	if len(samples) != len(want) {
+		t.Fatalf("samples at %v, want %v", samples, want)
+	}
+	for i, w := range want {
+		if samples[i] != w {
+			t.Errorf("sample %d at %v, want %v", i, samples[i], w)
+		}
+	}
+}

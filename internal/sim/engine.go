@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"hpn/internal/telemetry"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -44,6 +46,9 @@ type Event struct {
 	fn     func()
 	index  int // heap index; -1 once popped or canceled
 	cancel bool
+	// daemon events (telemetry samplers, watchers) fire like any other
+	// event while foreground work remains, but do not keep Run alive.
+	daemon bool
 }
 
 // Canceled reports whether the event was canceled before firing.
@@ -86,6 +91,8 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	fg     int // pending non-daemon events
+	tracer *telemetry.Tracer
 	// Processed counts events executed so far; useful for runaway detection.
 	Processed uint64
 }
@@ -99,6 +106,14 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of scheduled (not yet fired) events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// PendingWork returns the number of pending non-daemon events — the count
+// that keeps Run alive.
+func (e *Engine) PendingWork() int { return e.fg }
+
+// SetTracer attaches a telemetry tracer; every dispatched event then emits
+// a zero-duration span on the engine track. Pass nil to disable.
+func (e *Engine) SetTracer(t *telemetry.Tracer) { e.tracer = t }
+
 // Schedule runs fn after delay. A negative delay is treated as zero (fn runs
 // at the current instant, after already-queued events for this instant).
 func (e *Engine) Schedule(delay Time, fn func()) *Event {
@@ -108,15 +123,33 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 	return e.ScheduleAt(e.now+delay, fn)
 }
 
+// ScheduleDaemon runs fn after delay as a daemon event: it fires like any
+// other event while foreground work remains, but does not keep Run (or
+// RunUntil/RunWhile) alive on its own. Telemetry samplers use this so a
+// self-rescheduling tick never deadlocks the simulation's exit condition.
+func (e *Engine) ScheduleDaemon(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.schedule(e.now+delay, fn, true)
+}
+
 // ScheduleAt runs fn at the absolute virtual time at. Scheduling in the past
 // panics: it would silently reorder causality.
 func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	return e.schedule(at, fn, false)
+}
+
+func (e *Engine) schedule(at Time, fn func(), daemon bool) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
 	heap.Push(&e.events, ev)
+	if !daemon {
+		e.fg++
+	}
 	return ev
 }
 
@@ -132,6 +165,9 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.cancel = true
 	heap.Remove(&e.events, ev.index)
 	ev.index = -1
+	if !ev.daemon {
+		e.fg--
+	}
 }
 
 // Step fires the next event, advancing the clock to its timestamp.
@@ -142,24 +178,34 @@ func (e *Engine) Step() bool {
 		if ev.cancel {
 			continue
 		}
+		if !ev.daemon {
+			e.fg--
+		}
 		e.now = ev.at
 		e.Processed++
+		if e.tracer != nil {
+			e.tracer.Complete(int64(ev.at), 0, "sim", "dispatch", telemetry.TidSim,
+				telemetry.Arg{K: "seq", V: ev.seq})
+		}
 		ev.fn()
 		return true
 	}
 	return false
 }
 
-// Run fires events until the queue is empty.
+// Run fires events until no foreground work remains. Daemon events
+// interleave while foreground events exist; once only daemons are left
+// they stay queued and Run returns.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.fg > 0 && e.Step() {
 	}
 }
 
-// RunUntil fires events with timestamps <= deadline, then advances the clock
-// to the deadline. Events scheduled beyond the deadline remain queued.
+// RunUntil fires events with timestamps <= deadline while foreground work
+// remains, then advances the clock to the deadline. Events scheduled
+// beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 {
+	for e.fg > 0 {
 		next := e.peek()
 		if next == nil {
 			break
@@ -174,9 +220,10 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// RunWhile fires events while cond() remains true and events remain.
+// RunWhile fires events while cond() remains true and foreground work
+// remains.
 func (e *Engine) RunWhile(cond func() bool) {
-	for cond() && e.Step() {
+	for cond() && e.fg > 0 && e.Step() {
 	}
 }
 

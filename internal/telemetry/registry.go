@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Counter is a named monotonic counter registered in a Registry. All
+// methods are safe on a nil receiver, so layers hold nil counters while
+// telemetry is disabled and pay one nil check per increment.
+type Counter struct {
+	name, help string
+
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds 1. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d. Nil-safe.
+func (c *Counter) Add(d float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// gauge is a read-on-export metric backed by a callback.
+type gauge struct {
+	help string
+	fn   func() float64
+}
+
+// Registry holds counters, gauges and named artifact exporters. The zero
+// value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*gauge
+	exporters     map[string]func(io.Writer) error
+	exporterOrder []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*gauge{},
+		exporters: map[string]func(io.Writer) error{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use (the help string of the first registration wins). A nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers a callback-backed gauge; re-registering a name replaces
+// the callback. Nil-safe.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = &gauge{help: help, fn: fn}
+	r.mu.Unlock()
+}
+
+// RegisterExporter registers a named artifact writer (a flow log, a
+// sampler dump, ...). Re-registering a name replaces the writer but keeps
+// its original position. Nil-safe.
+func (r *Registry) RegisterExporter(name string, fn func(io.Writer) error) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.exporters[name]; !ok {
+		r.exporterOrder = append(r.exporterOrder, name)
+	}
+	r.exporters[name] = fn
+	r.mu.Unlock()
+}
+
+// ExporterNames lists registered exporters in registration order.
+func (r *Registry) ExporterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.exporterOrder...)
+}
+
+// Export runs the named exporter against w.
+func (r *Registry) Export(name string, w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: no registry")
+	}
+	r.mu.Lock()
+	fn := r.exporters[name]
+	r.mu.Unlock()
+	if fn == nil {
+		return fmt.Errorf("telemetry: unknown exporter %q (have %v)", name, r.ExporterNames())
+	}
+	return fn(w)
+}
+
+// metricRow is one resolved metric at export time.
+type metricRow struct {
+	name, help, typ string
+	v               float64
+}
+
+// snapshot resolves every counter and gauge to a sorted row list.
+func (r *Registry) snapshot() []metricRow {
+	r.mu.Lock()
+	rows := make([]metricRow, 0, len(r.counters)+len(r.gauges))
+	gauges := make(map[string]*gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	for n, c := range r.counters {
+		rows = append(rows, metricRow{name: n, help: c.help, typ: "counter", v: c.Value()})
+	}
+	r.mu.Unlock()
+	// Gauge callbacks run outside the registry lock: they read simulator
+	// state and must not deadlock against registration.
+	for n, g := range gauges {
+		rows = append(rows, metricRow{name: n, help: g.help, typ: "gauge", v: g.fn()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+// WritePrometheus renders every counter and gauge in the Prometheus text
+// exposition format, sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, row := range r.snapshot() {
+		name := SanitizeMetricName(row.name)
+		if row.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, row.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, row.typ)
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(row.v, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders every counter and gauge as one sorted JSON object
+// keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("{\n")
+	rows := r.snapshot()
+	for i, row := range rows {
+		b.Write(appendQuoted(nil, row.name))
+		b.WriteString(": ")
+		b.WriteString(strconv.FormatFloat(row.v, 'g', -1, 64))
+		if i+1 < len(rows) {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SanitizeMetricName maps an internal metric name onto the Prometheus
+// charset [a-zA-Z0-9_:]; everything else becomes '_'.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

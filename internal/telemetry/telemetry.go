@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Options configures a Hub.
+type Options struct {
+	// Trace enables span/instant-event recording (Chrome trace JSON).
+	Trace bool
+	// MaxTraceEvents bounds the trace buffer (0 = unbounded); events past
+	// the cap are counted as dropped.
+	MaxTraceEvents int
+	// SampleInterval is the sampler period in virtual nanoseconds
+	// (0 disables periodic sampling).
+	SampleInterval int64
+	// RingCap bounds each sampled series to its most recent RingCap
+	// samples (0 = unbounded).
+	RingCap int
+	// SamplePorts caps how many ToR uplink ports a cluster auto-tracks
+	// for per-port utilization/queue sampling.
+	SamplePorts int
+}
+
+// DefaultOptions enables tracing and a 10ms-virtual-time sampler keeping
+// the last 4096 samples of 16 auto-tracked ports.
+func DefaultOptions() Options {
+	return Options{
+		Trace:          true,
+		SampleInterval: 10_000_000, // 10ms of virtual time
+		RingCap:        4096,
+		SamplePorts:    16,
+	}
+}
+
+// Hub bundles one run's telemetry surfaces: a shared Tracer (one process
+// per attached cluster), a shared Registry, and one Sampler per cluster.
+type Hub struct {
+	Opt      Options
+	Tracer   *Tracer // nil when tracing is disabled
+	Registry *Registry
+
+	mu       sync.Mutex
+	samplers []*Sampler
+	clusters int
+}
+
+// NewHub builds a hub from opt.
+func NewHub(opt Options) *Hub {
+	h := &Hub{Opt: opt, Registry: NewRegistry()}
+	if opt.Trace {
+		h.Tracer = NewTracer(opt.MaxTraceEvents)
+	}
+	return h
+}
+
+// JoinCluster allocates the metric-name prefix and sampler for the next
+// cluster attached to this hub. The first cluster is unprefixed so
+// single-cluster runs keep clean metric names; later clusters get "c2_",
+// "c3_", ... The sampler is nil when sampling is disabled.
+func (h *Hub) JoinCluster() (prefix string, smp *Sampler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clusters++
+	if h.clusters > 1 {
+		prefix = fmt.Sprintf("c%d_", h.clusters)
+	}
+	if h.Opt.SampleInterval > 0 {
+		smp = NewSampler(h.Opt.SampleInterval, h.Opt.RingCap)
+		smp.AttachTracer(h.Tracer)
+		h.samplers = append(h.samplers, smp)
+	}
+	return prefix, smp
+}
+
+// Samplers returns every per-cluster sampler created so far.
+func (h *Hub) Samplers() []*Sampler {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*Sampler(nil), h.samplers...)
+}

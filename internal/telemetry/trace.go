@@ -1,0 +1,303 @@
+// Package telemetry is the fabric-wide observability substrate every layer
+// emits into: a span/instant-event Tracer whose output is Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto), a periodic
+// Sampler that snapshots fabric state into bounded ring-buffer series, and
+// a counter/gauge Registry with Prometheus-text and JSON exporters.
+//
+// The package depends only on the standard library (plus the sibling
+// metrics package for series types). All timestamps are virtual-clock
+// nanoseconds, never wall time, so every artifact is deterministic for a
+// fixed seed and diffable across runs.
+//
+// Every Tracer method is safe on a nil receiver: a disabled tracer costs
+// exactly one nil check at each emission point.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Thread IDs partition trace events by emitting layer. Collective groups
+// allocate their own IDs starting at TidCollectiveBase so concurrent
+// groups render on separate tracks.
+const (
+	TidSim            = 1
+	TidNetsim         = 2
+	TidRoute          = 3
+	TidWorkload       = 4
+	TidFailure        = 5
+	TidCollectiveBase = 16
+)
+
+// Arg is one key/value attachment on a trace event. Values may be string,
+// bool, int, int64, uint64 or float64; anything else is rendered with %v.
+type Arg struct {
+	K string
+	V any
+}
+
+// traceCore is the buffer shared by every per-process Tracer view.
+type traceCore struct {
+	mu      sync.Mutex
+	buf     []byte
+	events  int
+	max     int // 0 = unbounded
+	dropped int
+	nextPid int
+}
+
+// Tracer records trace events for one process (pid) of the trace. Views
+// for additional processes — e.g. one per cluster in a multi-cluster
+// sweep — share the same buffer via Process.
+type Tracer struct {
+	core *traceCore
+	pid  int
+}
+
+// NewTracer returns a tracer for pid 1 with the given event cap
+// (0 = unbounded). Once the cap is reached further events are counted as
+// dropped rather than recorded.
+func NewTracer(maxEvents int) *Tracer {
+	return &Tracer{core: &traceCore{max: maxEvents, nextPid: 1}, pid: 1}
+}
+
+// Process allocates the next pid, names it, and returns a tracer view for
+// it sharing this tracer's buffer. Nil-safe.
+func (t *Tracer) Process(name string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.core.mu.Lock()
+	t.core.nextPid++
+	pid := t.core.nextPid - 1
+	t.core.mu.Unlock()
+	v := &Tracer{core: t.core, pid: pid}
+	v.NameProcess(name)
+	return v
+}
+
+// Pid returns the tracer view's process ID (0 on nil).
+func (t *Tracer) Pid() int {
+	if t == nil {
+		return 0
+	}
+	return t.pid
+}
+
+// Complete records a complete ("X") span: [tsNS, tsNS+durNS) on the given
+// thread track. Nil-safe.
+func (t *Tracer) Complete(tsNS, durNS int64, cat, name string, tid int, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit('X', tsNS, durNS, cat, name, tid, args)
+}
+
+// Instant records an instant ("i") event at tsNS. Nil-safe.
+func (t *Tracer) Instant(tsNS int64, cat, name string, tid int, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.emit('i', tsNS, -1, cat, name, tid, args)
+}
+
+// Counter records a counter ("C") sample, rendered as a value track.
+// Nil-safe.
+func (t *Tracer) Counter(tsNS int64, name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.emit('C', tsNS, -1, "", name, 0, []Arg{{K: "value", V: v}})
+}
+
+// NameProcess emits the process_name metadata record for this view's pid.
+// Nil-safe.
+func (t *Tracer) NameProcess(name string) {
+	if t == nil {
+		return
+	}
+	t.meta("process_name", -1, name)
+}
+
+// NameThread emits the thread_name metadata record for tid. Nil-safe.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.meta("thread_name", tid, name)
+}
+
+// Events returns the number of recorded events (0 on nil).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.events
+}
+
+// Dropped returns the number of events discarded past the cap.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.dropped
+}
+
+// WriteTo serializes the whole trace as a Chrome trace-event JSON object.
+// On a nil tracer it writes an empty (still valid) trace.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var body []byte
+	if t != nil {
+		t.core.mu.Lock()
+		body = append([]byte(nil), t.core.buf...)
+		t.core.mu.Unlock()
+	}
+	var total int64
+	for _, chunk := range [][]byte{
+		[]byte(`{"displayTimeUnit":"ns","traceEvents":[` + "\n"),
+		body,
+		[]byte("\n]}\n"),
+	} {
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// meta emits a metadata ("M") record; tid < 0 omits the tid field.
+func (t *Tracer) meta(kind string, tid int, name string) {
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	b := t.sep()
+	b = append(b, `{"name":"`+kind+`","ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(t.pid), 10)
+	if tid >= 0 {
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+	}
+	b = append(b, `,"args":{"name":`...)
+	b = appendQuoted(b, name)
+	b = append(b, "}}"...)
+	t.core.buf = b
+	t.core.events++
+}
+
+// emit appends one event record under the core lock. durNS < 0 omits the
+// "dur" field (instants, counters).
+func (t *Tracer) emit(ph byte, tsNS, durNS int64, cat, name string, tid int, args []Arg) {
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && c.events >= c.max {
+		c.dropped++
+		return
+	}
+	b := t.sep()
+	b = append(b, `{"name":`...)
+	b = appendQuoted(b, name)
+	if cat != "" {
+		b = append(b, `,"cat":`...)
+		b = appendQuoted(b, cat)
+	}
+	b = append(b, `,"ph":"`...)
+	b = append(b, ph, '"')
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, tsNS)
+	if durNS >= 0 {
+		b = append(b, `,"dur":`...)
+		b = appendMicros(b, durNS)
+	}
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(t.pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	if ph == 'i' {
+		b = append(b, `,"s":"t"`...) // thread-scoped instant
+	}
+	if len(args) > 0 {
+		b = append(b, `,"args":{`...)
+		for i, a := range args {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendQuoted(b, a.K)
+			b = append(b, ':')
+			b = appendValue(b, a.V)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	c.buf = b
+	c.events++
+}
+
+// sep returns the buffer with a record separator appended if needed.
+// Callers must hold the core lock.
+func (t *Tracer) sep() []byte {
+	b := t.core.buf
+	if len(b) > 0 {
+		b = append(b, ',', '\n')
+	}
+	return b
+}
+
+// appendMicros renders virtual nanoseconds as the trace format's
+// microsecond timestamps, keeping full ns precision (e.g. 1234 -> 1.234).
+func appendMicros(b []byte, ns int64) []byte {
+	if ns < 0 {
+		ns = 0
+	}
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// appendValue renders an Arg value as deterministic JSON.
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendQuoted(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	default:
+		return appendQuoted(b, fmt.Sprintf("%v", x))
+	}
+}
+
+// appendQuoted writes s as a JSON string. Event names and args in this
+// codebase are ASCII; anything below 0x20 or quoting-sensitive is escaped.
+func appendQuoted(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, []byte(fmt.Sprintf(`\u%04x`, c))...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

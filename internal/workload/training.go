@@ -8,6 +8,7 @@ import (
 	"hpn/internal/netsim"
 	"hpn/internal/route"
 	"hpn/internal/sim"
+	"hpn/internal/telemetry"
 )
 
 // Job is a training job: a model plus its parallelism and the hosts it
@@ -108,13 +109,16 @@ type Trainer struct {
 	// disables PP traffic (PP=1 jobs have none anyway).
 	MicrobatchesPerIteration int
 
-	stopAfter int
-	running   bool
+	stopAfter  int
+	running    bool
+	phaseStart sim.Time
+	ctrIters   *telemetry.Counter
 }
 
 // NewTrainer builds collective groups for the job over the fabric.
 func NewTrainer(net *netsim.Sim, job *Job, cfg collective.Config) (*Trainer, error) {
 	t := &Trainer{Net: net, Job: job, Cfg: cfg, MicrobatchesPerIteration: 8}
+	t.ctrIters = net.Reg.Counter(net.MetricsPrefix+"workload_iterations_total", "completed training iterations")
 	for _, hosts := range job.DPGroups() {
 		if len(hosts) < 2 {
 			continue // DP=1: no gradient traffic
@@ -152,6 +156,7 @@ func (t *Trainer) beginIteration() {
 	}
 	m := t.Job.Model
 	compute := ComputeSeconds(m, t.Job.Par.GPUs())
+	t.phaseStart = t.Net.Eng.Now()
 	t.Net.Eng.Schedule(sim.Time(compute*float64(sim.Second)), t.syncPhase)
 }
 
@@ -160,6 +165,12 @@ func (t *Trainer) beginIteration() {
 // inter-host), hierarchical AllReduce otherwise.
 func (t *Trainer) syncPhase() {
 	start := t.Net.Eng.Now()
+	if t.Net.Trace != nil {
+		t.Net.Trace.Complete(int64(t.phaseStart), int64(start-t.phaseStart),
+			"workload", "compute", telemetry.TidWorkload,
+			telemetry.Arg{K: "iter", V: t.Iterations + 1})
+	}
+	t.phaseStart = start
 	pending := len(t.groups)
 	bytes := t.Job.GradientSyncBytes()
 	done := func(now sim.Time, _ collective.Result) {
@@ -217,10 +228,21 @@ func (t *Trainer) syncPhase() {
 func (t *Trainer) completeIteration(comm sim.Time) {
 	now := t.Net.Eng.Now()
 	t.Iterations++
+	t.ctrIters.Inc()
 	m := t.Job.Model
 	iter := IterationSeconds(m, t.Job.Par.GPUs(), comm.Seconds())
-	t.Perf.Add(now.Seconds(), SamplesPerSecond(m, t.Job.Par.GPUs(), iter))
+	sps := SamplesPerSecond(m, t.Job.Par.GPUs(), iter)
+	t.Perf.Add(now.Seconds(), sps)
 	t.CommSeconds.Add(now.Seconds(), comm.Seconds())
+	if t.Net.Trace != nil {
+		t.Net.Trace.Complete(int64(t.phaseStart), int64(now-t.phaseStart),
+			"workload", "grad_sync", telemetry.TidWorkload,
+			telemetry.Arg{K: "iter", V: t.Iterations},
+			telemetry.Arg{K: "comm_s", V: comm.Seconds()})
+		t.Net.Trace.Instant(int64(now), "workload", "iteration", telemetry.TidWorkload,
+			telemetry.Arg{K: "iter", V: t.Iterations},
+			telemetry.Arg{K: "samples_per_s", V: sps})
+	}
 	if t.OnIteration != nil {
 		t.OnIteration(t.Iterations, now)
 	}

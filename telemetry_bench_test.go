@@ -1,0 +1,50 @@
+package hpn
+
+import (
+	"testing"
+)
+
+// benchTraining drives b.N training iterations of a netsim-heavy job (768
+// inter-host flows per gradient sync) with or without telemetry attached.
+// Comparing BenchmarkTelemetryOff against BenchmarkTelemetryOn bounds the
+// observability overhead; Off must stay within noise of the pre-telemetry
+// engine since disabled emission points cost one nil check each.
+func benchTraining(b *testing.B, hub *TelemetryHub) {
+	c, err := NewHPN(SmallHPN(1, 8, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hub != nil {
+		c.EnableTelemetry(hub)
+	}
+	hosts, err := c.PlaceJob(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job, err := NewJob(LLaMa13B, Parallelism{TP: 8, PP: 1, DP: 8}, hosts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := NewTrainer(c, job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := tr.Start(b.N); err != nil {
+		b.Fatal(err)
+	}
+	c.Eng.Run()
+	if tr.Iterations != b.N {
+		b.Fatalf("completed %d iterations, want %d", tr.Iterations, b.N)
+	}
+}
+
+func BenchmarkTelemetryOff(b *testing.B) { benchTraining(b, nil) }
+
+func BenchmarkTelemetryOn(b *testing.B) {
+	opt := DefaultTelemetryOptions()
+	// Bound the buffer: b.N can reach thousands of iterations and the
+	// benchmark measures emission cost, not unbounded accumulation.
+	opt.MaxTraceEvents = 2_000_000
+	benchTraining(b, NewTelemetryHub(opt))
+}
