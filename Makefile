@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench
+.PHONY: ci fmt vet lint build test bench
 
-# Full gate: formatting, static checks, build, tests under the race detector.
-ci: fmt vet build test
+# Full gate: formatting, go vet, build, hpnlint determinism/invariant rules,
+# tests under the race detector.
+ci: fmt vet build lint test
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -13,6 +14,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# hpnlint: the repo's own static-analysis suite (cmd/hpnlint) enforcing
+# simulator determinism invariants — see the lint-rules table in README.md.
+lint:
+	$(GO) run ./cmd/hpnlint ./...
 
 build:
 	$(GO) build ./...

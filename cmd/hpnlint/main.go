@@ -1,0 +1,150 @@
+// Command hpnlint is the repo's determinism and invariant linter: a
+// stdlib-only static-analysis suite (go/parser + go/types) enforcing the
+// simulator's reproducibility contract — no wall-clock reads, no global
+// math/rand, no map-order leaks into ordered output, no exact float
+// equality, and nil-guarded telemetry emission.
+//
+// Usage:
+//
+//	hpnlint ./...            # lint every package in the module
+//	hpnlint ./internal/...   # lint a subtree
+//	hpnlint -rules           # list rules and what they catch
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Intentional
+// exceptions are annotated in source:
+//
+//	//hpnlint:allow <rule>[,<rule>] -- <justification>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hpn/internal/lint"
+)
+
+func main() {
+	var (
+		listRules = flag.Bool("rules", false, "list rules and exit")
+		strict    = flag.Bool("strict", false, "treat type-check warnings as failures")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hpnlint [-rules] [-strict] ./... | dir ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-10s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	root, module, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(root, module)
+
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	for _, arg := range flag.Args() {
+		loaded, err := loadArg(loader, root, arg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pkg := range loaded {
+			if !seen[pkg.ImportPath] {
+				seen[pkg.ImportPath] = true
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+
+	warned := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "hpnlint: typecheck %s: %v\n", pkg.ImportPath, terr)
+			warned = true
+		}
+	}
+	if warned && *strict {
+		os.Exit(2)
+	}
+
+	diags := lint.Run(loader.Fset, loader.Info, pkgs, lint.AllRules())
+	for _, d := range diags {
+		// Positions relative to the module root keep output stable across
+		// checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hpnlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// loadArg resolves one command-line argument: "./..."-style patterns load
+// the whole subtree, plain paths load a single package directory.
+func loadArg(loader *lint.Loader, root, arg string) ([]*lint.Package, error) {
+	if arg == "all" || arg == "./..." || arg == "..." {
+		return loader.LoadAll()
+	}
+	if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+		all, err := loader.LoadAll()
+		if err != nil {
+			return nil, err
+		}
+		prefix, err := filepath.Abs(rest)
+		if err != nil {
+			return nil, err
+		}
+		var out []*lint.Package
+		for _, pkg := range all {
+			if pkg.Dir == prefix || strings.HasPrefix(pkg.Dir, prefix+string(filepath.Separator)) {
+				out = append(out, pkg)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("hpnlint: no packages under %s", arg)
+		}
+		return out, nil
+	}
+	dir, err := filepath.Abs(arg)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("hpnlint: %s is outside module root %s", arg, root)
+	}
+	importPath := module(loader, rel)
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{pkg}, nil
+}
+
+func module(loader *lint.Loader, rel string) string {
+	if rel == "." {
+		return loader.Module
+	}
+	return loader.Module + "/" + filepath.ToSlash(rel)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpnlint:", err)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package hpn
 
 import (
 	"fmt"
+	"math"
 
 	"hpn/internal/topo"
 )
@@ -79,7 +80,7 @@ func runAppD(s Scale) (*Report, error) {
 	r.AddClaim("cross-building links are a small share", "~12.9%", pct(crossShare),
 		crossShare > 0.05 && crossShare < 0.20)
 	r.AddClaim("multi-mode optics cut per-link cost", "70% cheaper than single-mode",
-		pct(1-mmCostShare), mmCostShare == 0.3)
+		pct(1-mmCostShare), math.Abs(mmCostShare-0.3) < 1e-9)
 	r.AddClaim("layout cuts total optics cost", "large saving vs all-single-mode",
 		pct(saving)+" saved", saving > 0.5)
 

@@ -69,7 +69,7 @@ func runTraining(c *Cluster, m ModelSpec, par Parallelism, hosts []int, iters in
 		segments:      c.SegmentsSpanned(hosts),
 		perf:          &tr.Perf,
 	}
-	if run.commSeconds == 0 {
+	if run.commSeconds <= 0 {
 		run.commSeconds = tr.CommSeconds.Mean()
 	}
 	for _, p := range aggProbes {

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowSet records, per file and line, which rules an allow directive
+// suppresses.
+type allowSet map[string]map[int]map[string]bool
+
+// allowed reports whether rule is suppressed at file:line.
+func (a allowSet) allowed(file string, line int, rule string) bool {
+	return a[file][line][rule]
+}
+
+// collectAllows scans every comment in the package for allow directives.
+//
+// Directive syntax (the one escape hatch from hpnlint findings):
+//
+//	//hpnlint:allow <rule>[,<rule>...] [-- <justification>]
+//
+// The directive is written with no space after "//" so gofmt treats it as a
+// machine directive and leaves it untouched. It suppresses diagnostics of
+// the named rule(s) on the line the comment appears on (trailing-comment
+// form) and on the immediately following line (standalone-comment form):
+//
+//	start := time.Now() //hpnlint:allow wallclock -- CLI timing, not sim state
+//
+//	//hpnlint:allow floateq -- exact zero guard before math.Log
+//	for u == 0 {
+//
+// Everything after " -- " is a free-form justification; writing one is
+// expected — an allow without a why is a review comment waiting to happen.
+func collectAllows(fset *token.FileSet, pkg *Package) allowSet {
+	allows := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := allows[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					allows[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = map[string]bool{}
+						lines[line] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// parseAllowDirective extracts the rule list from one comment's text, or
+// returns ok=false when the comment is not an allow directive.
+func parseAllowDirective(text string) (rules []string, ok bool) {
+	const prefix = "//hpnlint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	// Strip the justification, if any.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return nil, false
+	}
+	// The rule list is the first field; tolerate spaces after commas.
+	fields := strings.Fields(rest)
+	for _, f := range fields {
+		for _, r := range strings.Split(f, ",") {
+			if r != "" {
+				rules = append(rules, r)
+			}
+		}
+	}
+	return rules, len(rules) > 0
+}

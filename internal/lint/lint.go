@@ -1,0 +1,177 @@
+// Package lint implements hpnlint, the repo's determinism and invariant
+// static-analysis suite.
+//
+// The simulator's core correctness contract is bit-for-bit reproducibility:
+// every artifact (flow logs, traces, metrics) must be byte-identical across
+// same-seed runs. That contract is easy to break silently — one stray
+// time.Now, a global math/rand draw, or Go map iteration order leaking into
+// an ordered output — so it is enforced by machine rather than by review
+// vigilance. hpnlint walks every package with go/parser + go/types (standard
+// library only, preserving the repo's no-dependency rule) and reports
+// file:line diagnostics for five rules:
+//
+//   - wallclock:  no time.Now/time.Since etc. in simulator code; virtual
+//     time comes from sim.Engine.Now.
+//   - globalrand: no math/rand package-level functions; RNG streams must
+//     flow from hpn/internal/sim.NewRNG / RNG.Fork.
+//   - maporder:   no map iteration whose body schedules simulator events,
+//     appends to a slice that outlives the loop (unless sorted afterwards),
+//     or emits telemetry — the ways map order reaches ordered output.
+//   - floateq:    no ==/!= between floating-point operands; the fluid
+//     solver compares with epsilons.
+//   - tracenil:   telemetry emission sites must sit behind a nil-tracer
+//     guard so disabled telemetry costs one branch, not argument
+//     construction.
+//
+// Intentional exceptions carry a `//hpnlint:allow <rule>` directive (see
+// collectAllows in allow.go for the exact syntax).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Module-internal import paths the rules key on.
+const (
+	telemetryPath = "hpn/internal/telemetry"
+	simPath       = "hpn/internal/sim"
+)
+
+// Diagnostic is one finding at a resolved source position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Rule is one invariant checker run over every loaded package.
+type Rule interface {
+	// Name is the identifier used in diagnostics and allow directives.
+	Name() string
+	// Doc is a one-line description for -rules output and docs.
+	Doc() string
+	// Check inspects one package and reports findings through the pass.
+	Check(p *Pass)
+}
+
+// AllRules returns the full rule set in stable order.
+func AllRules() []Rule {
+	return []Rule{
+		wallclockRule{},
+		globalrandRule{},
+		maporderRule{},
+		floateqRule{},
+		tracenilRule{},
+	}
+}
+
+// RuleByName resolves a rule name, or nil.
+func RuleByName(name string) Rule {
+	for _, r := range AllRules() {
+		if r.Name() == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Pass carries one package through one rule.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	Info *types.Info
+
+	report func(pos token.Pos, rule, msg string)
+}
+
+// Reportf files a diagnostic unless an allow directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.report(pos, rule, fmt.Sprintf(format, args...))
+}
+
+// Run applies rules to pkgs and returns the surviving diagnostics sorted by
+// position.
+func Run(fset *token.FileSet, info *types.Info, pkgs []*Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(fset, pkg)
+		pass := &Pass{
+			Fset: fset,
+			Pkg:  pkg,
+			Info: info,
+			report: func(pos token.Pos, rule, msg string) {
+				position := fset.Position(pos)
+				if allows.allowed(position.Filename, position.Line, rule) {
+					return
+				}
+				diags = append(diags, Diagnostic{Pos: position, Rule: rule, Msg: msg})
+			},
+		}
+		for _, r := range rules {
+			r.Check(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// inspectWithStack walks the tree rooted at root, calling fn for each node
+// with the stack of its ancestors (outermost first, root's ancestors
+// excluded). Returning false prunes the subtree, mirroring ast.Inspect.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the function or method a call expression invokes, or
+// nil for builtins, conversions and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring fn, or "".
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

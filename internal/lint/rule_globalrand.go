@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrandRule flags math/rand (and math/rand/v2) package-level
+// functions. The global source is seeded per process, so any draw from it
+// breaks same-seed reproducibility; even explicitly seeded rand.Rand values
+// are off-contract here because every stochastic component must derive its
+// stream from the experiment seed via hpn/internal/sim.NewRNG / RNG.Fork.
+type globalrandRule struct{}
+
+func (globalrandRule) Name() string { return "globalrand" }
+func (globalrandRule) Doc() string {
+	return "no math/rand top-level functions; RNG streams must flow from hpn/internal/sim (NewRNG/Fork)"
+}
+
+func (globalrandRule) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on rand.Rand values are the caller's seed problem
+			}
+			p.Reportf(sel.Pos(), "globalrand",
+				"rand.%s draws outside the experiment's seeded stream; derive an RNG with hpn/internal/sim.NewRNG(seed) or RNG.Fork",
+				fn.Name())
+			return true
+		})
+	}
+}

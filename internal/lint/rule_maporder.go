@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maporderRule flags `range` over a map whose body lets Go's randomized
+// iteration order reach ordered output: scheduling simulator events,
+// appending to a slice that outlives the loop, or emitting telemetry. Any
+// of those turns map order into event order, artifact order, or trace
+// order — the exact class of bug that makes same-seed runs diverge.
+//
+// The canonical fix — collect keys, sort, iterate the sorted slice — is
+// recognized and not flagged: an append whose target is later passed to a
+// sort.* / slices.Sort* call in the same function is considered ordered.
+type maporderRule struct{}
+
+func (maporderRule) Name() string { return "maporder" }
+func (maporderRule) Doc() string {
+	return "no map iteration that schedules events, builds surviving slices (unsorted), or emits telemetry"
+}
+
+// simSchedulingFuncs are the engine entry points that enqueue events; map
+// order reaching the event heap reorders same-timestamp dispatches.
+var simSchedulingFuncs = map[string]bool{
+	"Schedule":       true,
+	"ScheduleAt":     true,
+	"ScheduleDaemon": true,
+	"Cancel":         true,
+}
+
+func (maporderRule) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if reason := p.maporderTrigger(rs, enclosingFuncBody(stack)); reason != "" {
+				p.Reportf(rs.Pos(), "maporder",
+					"iteration over map %s leaks Go's randomized order into %s; iterate a sorted key slice or a parallel ordered slice",
+					types.ExprString(rs.X), reason)
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function,
+// used to look for a sort call after the range statement.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// maporderTrigger scans the range body for the first order-leaking
+// operation and describes it, or returns "" when the body is
+// order-independent.
+func (p *Pass) maporderTrigger(rs *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	var reason string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				target := call.Args[0]
+				if p.escapesRange(target, rs) && !p.sortedAfter(target, rs, fnBody) {
+					reason = "the surviving slice " + types.ExprString(target)
+				}
+				return true
+			}
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch funcPkgPath(fn) {
+		case telemetryPath:
+			if p.Pkg.ImportPath != telemetryPath {
+				reason = "telemetry emission order (" + fn.Name() + ")"
+			}
+		case simPath:
+			if simSchedulingFuncs[fn.Name()] {
+				reason = "simulator event order (sim." + fn.Name() + ")"
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// escapesRange reports whether the append target is declared outside the
+// range statement, i.e. whether the built slice outlives the loop.
+func (p *Pass) escapesRange(target ast.Expr, rs *ast.RangeStmt) bool {
+	switch e := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(e)
+		if obj == nil {
+			return true // unresolved: assume the worst
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	default:
+		// Selector, index, call results, ...: writes through state the loop
+		// does not own.
+		return true
+	}
+}
+
+// sortedAfter reports whether target is passed to a sort call after the
+// range statement within the same function — the collect-then-sort idiom.
+func (p *Pass) sortedAfter(target ast.Expr, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok || fnBody == nil {
+		return false
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		switch funcPkgPath(fn) {
+		case "sort":
+		case "slices":
+			if !strings.HasPrefix(fn.Name(), "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.ObjectOf(aid) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockRule flags reads of the wall clock. Simulator state must evolve
+// on virtual time (sim.Engine.Now) only: a single time.Now in a hot path
+// makes artifacts differ between same-seed runs. Legitimate uses — CLI
+// wall-time reporting around a whole run — carry an allow directive.
+type wallclockRule struct{}
+
+func (wallclockRule) Name() string { return "wallclock" }
+func (wallclockRule) Doc() string {
+	return "no time.Now/time.Since/timers in simulator code; virtual time comes from sim.Engine.Now"
+}
+
+// wallclockFuncs are the package time entry points that read or depend on
+// the wall clock. Pure types and constants (time.Duration, time.Second) are
+// deterministic and stay legal.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func (wallclockRule) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || funcPkgPath(fn) != "time" || !wallclockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "wallclock",
+				"time.%s reads the wall clock; simulator code must use virtual time (sim.Engine.Now). CLI-level run timing may carry //hpnlint:allow wallclock",
+				fn.Name())
+			return true
+		})
+	}
+}

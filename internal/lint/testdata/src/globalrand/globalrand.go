@@ -1,0 +1,44 @@
+// Package globalrand is an hpnlint fixture: the globalrand rule must flag
+// math/rand package-level functions (global-source draws and constructors
+// alike) while leaving methods on rand.Rand values and the repo's own
+// seeded RNG alone.
+package globalrand
+
+import (
+	"math/rand"
+
+	"hpn/internal/sim"
+)
+
+func roll() int {
+	return rand.Intn(6) // want:globalrand "rand.Intn"
+}
+
+func uniform() float64 {
+	return rand.Float64() // want:globalrand "rand.Float64"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:globalrand "rand.Shuffle"
+}
+
+func seeded() *rand.Rand {
+	src := rand.NewSource(1) // want:globalrand "rand.NewSource"
+	_ = src
+	return nil
+}
+
+// methodsOK is clean: drawing from an explicit rand.Rand value is the
+// caller's seeding problem, not a global-state draw.
+func methodsOK(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// simRNG is clean: this is the sanctioned stream.
+func simRNG(seed uint64) float64 {
+	return sim.NewRNG(seed).Float64()
+}
+
+func allowed() int {
+	return rand.Int() //hpnlint:allow globalrand -- fixture: directive honored
+}

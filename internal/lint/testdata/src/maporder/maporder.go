@@ -1,0 +1,73 @@
+// Package maporder is an hpnlint fixture: the maporder rule must flag map
+// iteration whose body schedules simulator events, appends to a slice that
+// outlives the loop, or emits telemetry — and must recognize the
+// collect-keys-then-sort idiom and order-independent reductions as clean.
+package maporder
+
+import (
+	"sort"
+
+	"hpn/internal/sim"
+	"hpn/internal/telemetry"
+)
+
+func escapingAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want:maporder "surviving slice out"
+		out = append(out, v)
+	}
+	return out
+}
+
+func schedules(eng *sim.Engine, m map[int]sim.Time) {
+	for _, at := range m { // want:maporder "sim.ScheduleAt"
+		eng.ScheduleAt(at, func() {})
+	}
+}
+
+func emits(tr *telemetry.Tracer, m map[string]float64) {
+	for name, v := range m { // want:maporder "telemetry emission"
+		if tr != nil {
+			tr.Counter(0, name, v)
+		}
+	}
+}
+
+// sortedAfterIsClean: the canonical fix — collect, sort, iterate sorted.
+func sortedAfterIsClean(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// reductionIsClean: order-independent aggregation.
+func reductionIsClean(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAppendIsClean: the built slice dies inside the loop body.
+func localAppendIsClean(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		n += len(scratch)
+	}
+	return n
+}
+
+func allowed(m map[int]string) []string {
+	var out []string
+	//hpnlint:allow maporder -- fixture: consumer treats out as an unordered set
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package tracenil is an hpnlint fixture: the tracenil rule must flag
+// Tracer emission calls without a nil guard, accept both guard shapes
+// (enclosing if and early return), and ignore non-emission methods and
+// Registry.Counter.
+package tracenil
+
+import "hpn/internal/telemetry"
+
+type layer struct {
+	tr  *telemetry.Tracer
+	reg *telemetry.Registry
+}
+
+func (l *layer) unguarded(ts int64) {
+	l.tr.Instant(ts, "cat", "evt", 1) // want:tracenil "nil-tracer guard"
+}
+
+func (l *layer) unguardedCounter(ts int64) {
+	l.tr.Counter(ts, "track", 1) // want:tracenil "nil-tracer guard"
+}
+
+func (l *layer) enclosingIf(ts int64) {
+	if l.tr != nil {
+		l.tr.Complete(ts, 10, "cat", "span", 1)
+	}
+}
+
+func (l *layer) enclosingIfConjunction(ts int64, on bool) {
+	if on && l.tr != nil {
+		l.tr.Instant(ts, "cat", "evt", 1)
+	}
+}
+
+func (l *layer) earlyReturn(ts int64) {
+	if l.tr == nil {
+		return
+	}
+	l.tr.Counter(ts, "track", 1)
+}
+
+func (l *layer) earlyReturnOuterBlock(ts int64) {
+	if l.tr == nil {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		l.tr.Counter(ts+int64(i), "track", 1)
+	}
+}
+
+// wrongGuard guards a different expression: still a finding.
+func (l *layer) wrongGuard(other *telemetry.Tracer, ts int64) {
+	if other != nil {
+		l.tr.Instant(ts, "cat", "evt", 1) // want:tracenil "nil-tracer guard"
+	}
+}
+
+// registryCounterIsClean: Registry.Counter is a constructor, not an
+// emission, and the Registry is nil-safe by contract.
+func (l *layer) registryCounterIsClean() *telemetry.Counter {
+	return l.reg.Counter("name", "help")
+}
+
+// metadataIsClean: NameThread is setup-time metadata, not hot-path
+// emission.
+func (l *layer) metadataIsClean() {
+	l.tr.NameThread(1, "engine")
+}
+
+func (l *layer) allowed(ts int64) {
+	l.tr.Instant(ts, "cat", "evt", 1) //hpnlint:allow tracenil -- fixture: caller guarantees a live tracer
+}

@@ -1,0 +1,38 @@
+// Package wallclock is an hpnlint fixture: the wallclock rule must flag
+// wall-clock reads and timer constructors, honor allow directives, and
+// leave deterministic time.Duration arithmetic alone.
+package wallclock
+
+import "time"
+
+func elapsed() float64 {
+	start := time.Now() // want:wallclock "time.Now"
+	work()
+	return time.Since(start).Seconds() // want:wallclock "time.Since"
+}
+
+func timers() {
+	time.Sleep(time.Millisecond)    // want:wallclock "time.Sleep"
+	_ = time.After(time.Second)     // want:wallclock "time.After"
+	_ = time.NewTicker(time.Second) // want:wallclock "time.NewTicker"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want:wallclock "time.Until"
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //hpnlint:allow wallclock -- fixture: sanctioned CLI timing
+}
+
+func allowedStandalone() time.Time {
+	//hpnlint:allow wallclock -- fixture: directive on the preceding line
+	return time.Now()
+}
+
+// virtual is clean: durations and constants are deterministic.
+func virtual() time.Duration {
+	return 3 * time.Second
+}
+
+func work() {}

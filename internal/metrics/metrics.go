@@ -216,6 +216,7 @@ func (d *Dist) CDF() []Point {
 	var out []Point
 	n := float64(len(d.samples))
 	for i, v := range d.samples {
+		//hpnlint:allow floateq -- collapsing bit-identical duplicates in sorted samples is exact by intent
 		if i+1 < len(d.samples) && d.samples[i+1] == v {
 			continue // emit only the last occurrence of each value
 		}
@@ -257,6 +258,7 @@ func HumanBytes(b float64) string {
 }
 
 func trimZero(v float64) string {
+	//hpnlint:allow floateq -- formatting choice: exact integers render without a decimal point
 	if v == math.Trunc(v) {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -104,11 +104,14 @@ func (s *Sim) recompute() {
 		unfrozen = kept
 	}
 
-	// Refresh probe accumulators from the new allocation.
-	for _, p := range s.probes {
+	// Refresh probe accumulators from the new allocation. Iteration goes
+	// through the registration-ordered probeList, never the lookup map, so
+	// accumulator refresh order (and anything it may ever feed) stays
+	// deterministic.
+	for _, p := range s.probeList {
 		p.util, p.demand = 0, 0
 	}
-	if len(s.probes) > 0 {
+	if len(s.probeList) > 0 {
 		for _, f := range s.active {
 			if f.Stalled {
 				continue
@@ -119,7 +122,8 @@ func (s *Sim) recompute() {
 				}
 			}
 		}
-		for lk, p := range s.probes {
+		for _, p := range s.probeList {
+			lk := p.Link
 			if s.epoch[lk] == s.curEpoch {
 				p.demand = s.demand[lk]
 			}

@@ -87,7 +87,12 @@ type Sim struct {
 	completionEv *sim.Event
 	mutating     int
 
-	probes map[topo.LinkID]*LinkProbe
+	// probes indexes probes by link for hot-path lookup; probeList holds
+	// the same probes in registration order. All iteration goes through
+	// probeList so probe series and artifacts never depend on Go map
+	// iteration order (hpnlint:maporder).
+	probes    map[topo.LinkID]*LinkProbe
+	probeList []*LinkProbe
 
 	// scratch arrays for the allocator, epoch-stamped to avoid O(links)
 	// clearing on every recompute.
@@ -262,7 +267,7 @@ func (s *Sim) advance() {
 				}
 			}
 		}
-		for _, p := range s.probes {
+		for _, p := range s.probeList {
 			p.integrate(s.lastAdvance.Seconds(), dt, s.PortBufferBytes)
 		}
 	}

@@ -53,14 +53,11 @@ func (s *Sim) TrackLink(l topo.LinkID, name string) *LinkProbe {
 	p.Util.Name = name + "/util"
 	p.Queue.Name = name + "/queue"
 	s.probes[l] = p
+	s.probeList = append(s.probeList, p)
 	return p
 }
 
-// Probes returns all registered probes.
+// Probes returns all registered probes in registration order.
 func (s *Sim) Probes() []*LinkProbe {
-	out := make([]*LinkProbe, 0, len(s.probes))
-	for _, p := range s.probes {
-		out = append(out, p)
-	}
-	return out
+	return append([]*LinkProbe(nil), s.probeList...)
 }

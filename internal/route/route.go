@@ -48,18 +48,33 @@ type Router struct {
 	// propagation). Recovery uses the same delay.
 	ConvergenceDelay sim.Time
 
-	// downAdj[node][peer] lists this node's downlinks toward peer.
-	downAdj map[topo.NodeID]map[topo.NodeID][]topo.LinkID
+	// downAdj[node] lists the node's downlinks grouped by peer, sorted by
+	// peer ID. The ordered representation (rather than a map keyed by
+	// peer) guarantees that any iteration over the adjacency — today's
+	// ECMP group construction and anything added later — is deterministic
+	// by construction; Go map order must never reach path selection
+	// (hpnlint:maporder).
+	downAdj map[topo.NodeID][]peerLinks
 
 	// failedAt records when a link last went down; entries are cleared on
 	// recovery. Used to decide whether routing has converged around it.
+	// Lookup-only by design: never range over it — aggregate walks must go
+	// through sorted keys so failure bookkeeping can't leak map order into
+	// reconvergence behaviour (enforced by hpnlint's maporder rule).
 	failedAt map[topo.LinkID]sim.Time
-	// nodeFailedAt is the same for whole nodes (ToR crash).
+	// nodeFailedAt is the same for whole nodes (ToR crash); the same
+	// lookup-only rule applies.
 	nodeFailedAt map[topo.NodeID]sim.Time
 
 	// Tracer, when set, receives BGP-withdrawal/convergence spans and INT
 	// path-trace instants.
 	Tracer *telemetry.Tracer
+}
+
+// peerLinks groups one node's downlinks toward a single peer.
+type peerLinks struct {
+	peer  topo.NodeID
+	links []topo.LinkID
 }
 
 // New builds a router for t. ConvergenceDelay defaults to one second, a
@@ -68,7 +83,7 @@ func New(t *topo.Topology) *Router {
 	r := &Router{
 		T:                t,
 		ConvergenceDelay: 1 * sim.Second,
-		downAdj:          make(map[topo.NodeID]map[topo.NodeID][]topo.LinkID),
+		downAdj:          map[topo.NodeID][]peerLinks{},
 		failedAt:         map[topo.LinkID]sim.Time{},
 		nodeFailedAt:     map[topo.NodeID]sim.Time{},
 	}
@@ -76,14 +91,30 @@ func New(t *topo.Topology) *Router {
 		if len(n.Downlinks) == 0 {
 			continue
 		}
-		m := make(map[topo.NodeID][]topo.LinkID)
+		var adj []peerLinks
 		for _, lk := range n.Downlinks {
 			peer := t.Link(lk).To
-			m[peer] = append(m[peer], lk)
+			i := sort.Search(len(adj), func(i int) bool { return adj[i].peer >= peer })
+			if i == len(adj) || adj[i].peer != peer {
+				adj = append(adj, peerLinks{})
+				copy(adj[i+1:], adj[i:])
+				adj[i] = peerLinks{peer: peer}
+			}
+			adj[i].links = append(adj[i].links, lk)
 		}
-		r.downAdj[n.ID] = m
+		r.downAdj[n.ID] = adj
 	}
 	return r
+}
+
+// downLinks returns node's downlinks toward peer (nil if not adjacent).
+func (r *Router) downLinks(node, peer topo.NodeID) []topo.LinkID {
+	adj := r.downAdj[node]
+	i := sort.Search(len(adj), func(i int) bool { return adj[i].peer >= peer })
+	if i < len(adj) && adj[i].peer == peer {
+		return adj[i].links
+	}
+	return nil
 }
 
 // NoteLinkFailed records the failure instant of a cable; the caller is
@@ -283,7 +314,7 @@ func (r *Router) ecmpGroup(node topo.NodeID, dst Endpoint, now sim.Time) ([]topo
 				if !r.inGroup(up, now) {
 					continue
 				}
-				for _, dl := range r.downAdj[node][al.To] {
+				for _, dl := range r.downLinks(node, al.To) {
 					if r.inGroup(dl, now) {
 						group = append(group, dl)
 					}
@@ -299,7 +330,7 @@ func (r *Router) ecmpGroup(node topo.NodeID, dst Endpoint, now sim.Time) ([]topo
 		// Down to the Aggs of dst's pod (this plane, by construction).
 		var group []topo.LinkID
 		for _, agg := range t.Aggs(dstHost.Pod, n.Plane) {
-			for _, dl := range r.downAdj[node][agg] {
+			for _, dl := range r.downLinks(node, agg) {
 				if r.inGroup(dl, now) {
 					group = append(group, dl)
 				}

@@ -57,6 +57,7 @@ func (r *RNG) Float64() float64 {
 // Exp returns an exponentially distributed sample with the given mean.
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()
+	//hpnlint:allow floateq -- exact zero guard: math.Log(0) is -Inf, any positive value is fine
 	for u == 0 {
 		u = r.Float64()
 	}
@@ -66,6 +67,7 @@ func (r *RNG) Exp(mean float64) float64 {
 // Normal returns a normally distributed sample (Box-Muller).
 func (r *RNG) Normal(mean, stddev float64) float64 {
 	u1 := r.Float64()
+	//hpnlint:allow floateq -- exact zero guard: math.Log(0) is -Inf, any positive value is fine
 	for u1 == 0 {
 		u1 = r.Float64()
 	}

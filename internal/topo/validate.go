@@ -21,6 +21,7 @@ func (t *Topology) Validate() []error {
 		if r.From != l.To || r.To != l.From {
 			report("link %d: reverse endpoints mismatched", l.ID)
 		}
+		//hpnlint:allow floateq -- capacities are assigned constants, never computed; asymmetry means a builder bug
 		if r.CapBps != l.CapBps {
 			report("link %d: asymmetric capacity", l.ID)
 		}

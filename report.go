@@ -137,7 +137,7 @@ func writeAligned(b *strings.Builder, header []string, rows [][]string) {
 // fmtF renders a float compactly for table cells.
 func fmtF(v float64) string {
 	switch {
-	case v == 0:
+	case v == 0: //hpnlint:allow floateq -- formatting choice: exact zero renders as "0"
 		return "0"
 	case v >= 1000 || v <= -1000:
 		return fmt.Sprintf("%.0f", v)
