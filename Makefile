@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci fmt vet lint build test bench
+.PHONY: ci fmt vet lint build test bench bench-smoke
 
 # Full gate: formatting, go vet, build, hpnlint determinism/invariant rules,
-# tests under the race detector.
-ci: fmt vet build lint test
+# tests under the race detector, and the bench/forensics smoke run.
+ci: fmt vet build lint test bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,3 +28,20 @@ test:
 
 bench:
 	$(GO) test -run=^$$ -bench=Telemetry -benchmem .
+
+# Smoke the perf-snapshot and in-band forensics pipeline end to end: one
+# quick experiment with in-band telemetry on, a BENCH_<stamp>.json snapshot,
+# then hpnview over the exported per-hop stream. Everything lands in a
+# throwaway directory; the run fails if any stage errors. hpnview exits 3
+# on a polarization verdict — a legitimate analysis outcome, not a failure,
+# so that exit is folded to success.
+bench-smoke:
+	@tmp=$$(mktemp -d); \
+	set -e; \
+	$(GO) run ./cmd/hpnbench -exp fig13 -scale quick -inband $$tmp/artifacts -benchout $$tmp >/dev/null; \
+	ls $$tmp/BENCH_*.json >/dev/null; \
+	$(GO) run ./cmd/hpnview -in $$tmp/artifacts/inband.tsv -out $$tmp/forensics >/dev/null || [ $$? -eq 3 ]; \
+	ls $$tmp/forensics/heatmap.csv $$tmp/forensics/contended.tsv \
+	   $$tmp/forensics/imbalance.tsv $$tmp/forensics/polarization.tsv >/dev/null; \
+	rm -rf $$tmp; \
+	echo "bench-smoke: OK"

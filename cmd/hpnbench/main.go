@@ -14,9 +14,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"hpn"
@@ -30,6 +34,8 @@ func main() {
 		csvDir   = flag.String("csv", "", "also dump recorded time series as CSV into this directory")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON covering every cluster built (one trace process each)")
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
+		inbandTo = flag.String("inband", "", "enable in-band path telemetry on every cluster; write the per-hop inband.tsv/json (and other registry artifacts) into this directory after the sweep")
+		benchOut = flag.String("benchout", "", "write a BENCH_<stamp>.json perf snapshot (scenario, ns/op, allocs, flows/sec) into this directory")
 	)
 	flag.Parse()
 
@@ -41,12 +47,19 @@ func main() {
 	}
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *benchOut != "" {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
-		// Experiments build many clusters; bound the trace so a full sweep
-		// cannot exhaust memory.
+		opt.Inband = *inbandTo != ""
+		// Experiments build many clusters; bound the trace and the in-band
+		// stream so a full sweep cannot exhaust memory.
 		opt.MaxTraceEvents = 2_000_000
+		opt.InbandMax = 2_000_000
+		if *traceOut == "" && *promOut == "" && *inbandTo == "" {
+			// -benchout alone: counters only, no sampler daemons perturbing
+			// the measured runs.
+			opt.SampleInterval = 0
+		}
 		hub = hpn.EnableDefaultTelemetry(opt)
 	}
 
@@ -71,18 +84,37 @@ func main() {
 	}
 
 	failed := 0
+	var bench []benchEntry
 	for _, id := range ids {
+		flows0 := flowsCompleted(hub)
+		allocs0 := mallocs()
 		// Wall-clock timing of the whole experiment run for the operator's
 		// benefit; it never feeds simulator state or run artifacts.
 		start := time.Now() //hpnlint:allow wallclock -- CLI run timing, printed only
 		r, err := hpn.Run(id, s)
+		wall := time.Since(start) //hpnlint:allow wallclock -- CLI run timing, printed only
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hpnbench: %s: %v\n", id, err)
 			failed++
 			continue
 		}
 		fmt.Print(r.String())
-		fmt.Printf("(%s scale, %.2fs)\n\n", *scale, time.Since(start).Seconds()) //hpnlint:allow wallclock -- CLI run timing, printed only
+		fmt.Printf("(%s scale, %.2fs)\n\n", *scale, wall.Seconds())
+		if *benchOut != "" {
+			flows := flowsCompleted(hub) - flows0
+			e := benchEntry{
+				Scenario: id,
+				Scale:    *scale,
+				WallNS:   wall.Nanoseconds(),
+				Allocs:   mallocs() - allocs0,
+				Flows:    int64(flows),
+				Holds:    r.Holds(),
+			}
+			if wall > 0 {
+				e.FlowsPerSec = flows / wall.Seconds()
+			}
+			bench = append(bench, e)
+		}
 		if *csvDir != "" {
 			files, err := r.WriteSeriesCSV(*csvDir)
 			if err != nil {
@@ -95,6 +127,15 @@ func main() {
 		}
 		if !r.Holds() {
 			failed++
+		}
+	}
+	if *benchOut != "" {
+		path, err := writeBenchSnapshot(*benchOut, *scale, bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpnbench: benchout: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s\n", path)
 		}
 	}
 	if hub != nil {
@@ -120,11 +161,98 @@ func main() {
 				fmt.Printf("wrote %s\n", *promOut)
 			}
 		}
+		if *inbandTo != "" {
+			paths, err := hub.WriteArtifacts(*inbandTo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hpnbench: inband: %v\n", err)
+				failed++
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "hpnbench: %d experiment(s) with failing claims\n", failed)
 		os.Exit(1)
 	}
+}
+
+// benchEntry is one experiment's row in the BENCH_<stamp>.json snapshot:
+// wall-clock ns/op (op = one experiment run at the chosen scale), heap
+// allocations, and simulated-flow throughput of the host process.
+type benchEntry struct {
+	Scenario    string  `json:"scenario"`
+	Scale       string  `json:"scale"`
+	WallNS      int64   `json:"wall_ns"`
+	Allocs      uint64  `json:"allocs"`
+	Flows       int64   `json:"flows"`
+	FlowsPerSec float64 `json:"flows_per_sec"`
+	Holds       bool    `json:"holds"`
+}
+
+// benchSnapshot is the top-level BENCH_<stamp>.json document.
+type benchSnapshot struct {
+	Stamp      string       `json:"stamp"`
+	Scale      string       `json:"scale"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// flowsCompleted sums every *netsim_flows_completed_total counter in the
+// hub registry (one per attached cluster, prefixed c2_, c3_, ... past the
+// first). Returns 0 without a hub.
+func flowsCompleted(hub *hpn.TelemetryHub) float64 {
+	if hub == nil {
+		return 0
+	}
+	var b strings.Builder
+	if err := hub.Registry.WriteJSON(&b); err != nil {
+		return 0
+	}
+	var metrics map[string]float64
+	if err := json.Unmarshal([]byte(b.String()), &metrics); err != nil {
+		return 0
+	}
+	var total float64
+	for name, v := range metrics {
+		if strings.HasSuffix(name, "netsim_flows_completed_total") {
+			total += v
+		}
+	}
+	return total
+}
+
+// mallocs reads the process-lifetime heap allocation count.
+func mallocs() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs
+}
+
+// writeBenchSnapshot writes dir/BENCH_<stamp>.json and returns its path.
+func writeBenchSnapshot(dir, scale string, entries []benchEntry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	// The stamp names the artifact after the real-world run instant; it is
+	// operator metadata, never simulator input.
+	stamp := time.Now().UTC().Format("20060102T150405Z") //hpnlint:allow wallclock -- artifact filename stamp
+	snap := benchSnapshot{
+		Stamp:      stamp,
+		Scale:      scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Entries:    entries,
+	}
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+stamp+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 func writeFile(path string, write func(*os.File) error) error {

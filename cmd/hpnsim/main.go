@@ -27,13 +27,15 @@ func main() {
 		iters    = flag.Int("iters", 5, "iterations to simulate")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
+		inbandTo = flag.String("inband", "", "enable in-band path telemetry and write run artifacts (per-hop inband.tsv/json, flow log, samples) into this directory")
 	)
 	flag.Parse()
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
+		opt.Inband = *inbandTo != ""
 		hub = hpn.EnableDefaultTelemetry(opt)
 	}
 
@@ -77,6 +79,10 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+	if *inbandTo != "" {
+		// The per-hop stream is exported alongside the completed-flow log.
+		c.Net.EnableFlowLog(0)
 	}
 
 	placed, err := c.PlaceJob(*hosts)
@@ -122,6 +128,15 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *promOut)
+		}
+		if *inbandTo != "" {
+			paths, err := hub.WriteArtifacts(*inbandTo)
+			if err != nil {
+				fail(err)
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
 		}
 	}
 }

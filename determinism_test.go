@@ -9,15 +9,18 @@ import (
 )
 
 // goldenArtifacts runs one fully instrumented training simulation — small
-// HPN cluster, telemetry hub attached, flow log on, a cable failure
-// injected mid-run — and returns the two serialized artifacts whose bytes
-// the determinism contract covers: the flow-log TSV and the Chrome trace
-// JSON. Everything that could perturb the output (placement, collective
-// schedules, retransmits after the failure, telemetry emission order) is
-// exercised on purpose.
-func goldenArtifacts(t *testing.T) (flowlog, trace []byte) {
+// HPN cluster, telemetry hub attached, flow log and in-band path telemetry
+// on, a cable failure injected mid-run — and returns the serialized
+// artifacts whose bytes the determinism contract covers: the flow-log TSV,
+// the Chrome trace JSON, and the in-band per-hop TSV and JSON. Everything
+// that could perturb the output (placement, collective schedules,
+// retransmits after the failure, telemetry emission order, path-epoch
+// flushes on reroute) is exercised on purpose.
+func goldenArtifacts(t *testing.T) (flowlog, trace, ibTSV, ibJSON []byte) {
 	t.Helper()
-	hub := NewTelemetryHub(DefaultTelemetryOptions())
+	opt := DefaultTelemetryOptions()
+	opt.Inband = true
+	hub := NewTelemetryHub(opt)
 	c, err := NewHPN(SmallHPN(1, 8, 8))
 	if err != nil {
 		t.Fatal(err)
@@ -50,14 +53,20 @@ func goldenArtifacts(t *testing.T) (flowlog, trace []byte) {
 		t.Fatalf("completed %d iterations, want 2", tr.Iterations)
 	}
 
-	var fb, tb bytes.Buffer
+	var fb, tb, ib, ij bytes.Buffer
 	if err := c.Net.WriteFlowLog(&fb); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := hub.Tracer.WriteTo(&tb); err != nil {
 		t.Fatal(err)
 	}
-	return fb.Bytes(), tb.Bytes()
+	if err := c.Net.Inband().WriteTSV(&ib); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Net.Inband().WriteJSON(&ij); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), tb.Bytes(), ib.Bytes(), ij.Bytes()
 }
 
 // firstDivergence returns the first line number (1-based) where a and b
@@ -89,19 +98,23 @@ func firstDivergence(a, b []byte) (line int, la, lb string) {
 }
 
 // TestGoldenDeterminism is the repo's determinism gate: two runs with the
-// same seed and full telemetry must produce byte-identical flow-log TSV
-// and trace JSON. A failure prints the first divergent line of the
-// offending artifact, which almost always fingerprints the culprit (a map
-// iteration, a wall-clock read, a global RNG draw) directly.
+// same seed and full telemetry must produce byte-identical flow-log TSV,
+// trace JSON, and in-band per-hop TSV/JSON. A failure prints the first
+// divergent line of the offending artifact, which almost always
+// fingerprints the culprit (a map iteration, a wall-clock read, a global
+// RNG draw) directly.
 func TestGoldenDeterminism(t *testing.T) {
-	flow1, trace1 := goldenArtifacts(t)
-	flow2, trace2 := goldenArtifacts(t)
+	flow1, trace1, ib1, ij1 := goldenArtifacts(t)
+	flow2, trace2, ib2, ij2 := goldenArtifacts(t)
 
 	if len(flow1) == 0 || bytes.Count(flow1, []byte("\n")) < 2 {
 		t.Fatal("flow log is empty; the run recorded no flows")
 	}
 	if len(trace1) == 0 {
 		t.Fatal("trace is empty; the run emitted no events")
+	}
+	if bytes.Count(ib1, []byte("\n")) < 2 {
+		t.Fatal("in-band TSV is empty; the run recorded no per-hop telemetry")
 	}
 
 	if line, a, b := firstDivergence(flow1, flow2); line != 0 {
@@ -110,6 +123,14 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if line, a, b := firstDivergence(trace1, trace2); line != 0 {
 		t.Errorf("trace JSON diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
+			line, a, b)
+	}
+	if line, a, b := firstDivergence(ib1, ib2); line != 0 {
+		t.Errorf("in-band TSV diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
+			line, a, b)
+	}
+	if line, a, b := firstDivergence(ij1, ij2); line != 0 {
+		t.Errorf("in-band JSON diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
 			line, a, b)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hpn/internal/collective"
+	"hpn/internal/hashing"
 	"hpn/internal/netsim"
 	"hpn/internal/sim"
 )
@@ -25,24 +26,15 @@ type tier2Measurement struct {
 	portQueue [][2]float64
 }
 
-// meanImbalance returns the average max/min port ratio (min clamped so a
-// fully-starved port reports as the cap).
+// meanImbalance returns the average max/min port ratio per NIC, scored by
+// hashing.RatioImbalance (a fully-starved port reports as the cap).
 func (m *tier2Measurement) meanImbalance(cap float64) float64 {
 	if len(m.portUtil) == 0 {
 		return 0
 	}
 	sum := 0.0
 	for _, u := range m.portUtil {
-		hi, lo := math.Max(u[0], u[1]), math.Min(u[0], u[1])
-		if hi <= 0 {
-			sum += 1
-			continue
-		}
-		r := cap
-		if lo > 0 {
-			r = math.Min(hi/lo, cap)
-		}
-		sum += r
+		sum += hashing.RatioImbalance(u[:], cap)
 	}
 	return sum / float64(len(m.portUtil))
 }

@@ -38,6 +38,9 @@ func (c *Cluster) EnableTelemetry(h *telemetry.Hub) {
 	c.Eng.SetTracer(tr)
 	c.Net.AttachTelemetry(tr, h.Registry, prefix)
 	c.Net.R.Tracer = tr
+	if h.Opt.Inband {
+		c.Net.EnableInband(h.Opt.InbandMax)
+	}
 	if smp == nil {
 		return
 	}

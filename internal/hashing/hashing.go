@@ -15,6 +15,8 @@
 //     is the property HPN's path selection (§6.1, Appendix B) relies on.
 package hashing
 
+import "math"
+
 // FiveTuple identifies a flow the way switch ASICs see it. Addresses are
 // abstract endpoint IDs (the simulator does not need real IPs; any stable
 // integer identity hashes the same way).
@@ -121,6 +123,41 @@ func Imbalance(counts []int) float64 {
 	}
 	mean := float64(sum) / float64(len(counts))
 	return float64(maxC) / mean
+}
+
+// RatioImbalance quantifies imbalance of a load vector as max/min — the
+// per-NIC port-ratio metric of Figure 13, where 1.0 is perfectly even and
+// the paper reports ~3x between the two ports of a dual-ToR NIC. A vector
+// carrying no traffic at all reports 1 (nothing is imbalanced); a starved
+// member (zero load while others carry traffic) makes the ratio infinite
+// and is clamped to cap, as is any finite ratio above it. cap <= 0 disables
+// the clamp (starvation then reports +Inf). This is the single definition
+// shared by the fig13 experiment and the in-band forensics, so the two
+// can never drift apart.
+func RatioImbalance(loads []float64, cap float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	hi, lo := loads[0], loads[0]
+	for _, v := range loads[1:] {
+		if v > hi {
+			hi = v
+		}
+		if v < lo {
+			lo = v
+		}
+	}
+	if hi <= 0 {
+		return 1
+	}
+	r := math.Inf(1)
+	if lo > 0 {
+		r = hi / lo
+	}
+	if cap > 0 && r > cap {
+		return cap
+	}
+	return r
 }
 
 // PolarizationExperiment sends the given flows through two cascaded hashing

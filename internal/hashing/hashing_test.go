@@ -113,6 +113,34 @@ func TestImbalance(t *testing.T) {
 	}
 }
 
+func TestRatioImbalance(t *testing.T) {
+	if got := RatioImbalance([]float64{5, 5}, 10); got != 1 {
+		t.Fatalf("even ratio = %v, want 1", got)
+	}
+	if got := RatioImbalance([]float64{30, 10}, 10); got != 3 {
+		t.Fatalf("3:1 ratio = %v, want 3", got)
+	}
+	// The fig13 clamp: a starved port is reported as the cap, not infinity,
+	// and any finite ratio above the cap saturates there too.
+	if got := RatioImbalance([]float64{7, 0}, 10); got != 10 {
+		t.Fatalf("starved port ratio = %v, want the cap 10", got)
+	}
+	if got := RatioImbalance([]float64{5000, 1}, 10); got != 10 {
+		t.Fatalf("over-cap ratio = %v, want clamped 10", got)
+	}
+	// No traffic anywhere is balanced by convention, as is nothing at all.
+	if RatioImbalance([]float64{0, 0}, 10) != 1 || RatioImbalance(nil, 10) != 1 {
+		t.Fatal("no-traffic ratio must be 1")
+	}
+	// cap <= 0 disables the clamp entirely.
+	if got := RatioImbalance([]float64{5000, 1}, 0); got != 5000 {
+		t.Fatalf("unclamped ratio = %v, want 5000", got)
+	}
+	if got := RatioImbalance([]float64{7, 0}, 0); !math.IsInf(got, 1) {
+		t.Fatalf("unclamped starved ratio = %v, want +Inf", got)
+	}
+}
+
 func TestPortHasherIgnoresTuple(t *testing.T) {
 	p := PortHasher{Seed: 5}
 	// Same (port, pod) must always map to the same egress, for any flow.

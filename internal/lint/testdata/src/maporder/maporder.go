@@ -71,3 +71,46 @@ func allowed(m map[int]string) []string {
 	}
 	return out
 }
+
+// hopRecord mimics an in-band per-hop telemetry record: the flush path
+// that drains per-flow accumulators into a serialized artifact stream.
+type hopRecord struct{ flow, seq int }
+
+// flushByMap is the emission bug the in-band collector must never have:
+// per-flow hop state drained straight out of a map into the record stream,
+// making artifact byte order follow Go map order.
+func flushByMap(m map[int][]hopRecord) []hopRecord {
+	var stream []hopRecord
+	for _, hops := range m { // want:maporder "surviving slice stream"
+		stream = append(stream, hops...)
+	}
+	return stream
+}
+
+// flushSortedIsClean is the deterministic flush: collect the flow IDs,
+// sort, then emit generations in flow order.
+func flushSortedIsClean(m map[int][]hopRecord) []hopRecord {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var stream []hopRecord
+	for _, id := range ids {
+		stream = append(stream, m[id]...)
+	}
+	return stream
+}
+
+// histogramReductionIsClean is the analyzer side of the in-band pipeline:
+// folding records grouped by flow into bucket histograms is an
+// order-independent reduction, however the map is walked.
+func histogramReductionIsClean(byFlow map[int64][]hopRecord) []int {
+	counts := make([]int, 8)
+	for _, hops := range byFlow {
+		for _, h := range hops {
+			counts[h.seq%len(counts)]++
+		}
+	}
+	return counts
+}

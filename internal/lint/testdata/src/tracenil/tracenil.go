@@ -69,3 +69,33 @@ func (l *layer) metadataIsClean() {
 func (l *layer) allowed(ts int64) {
 	l.tr.Instant(ts, "cat", "evt", 1) //hpnlint:allow tracenil -- fixture: caller guarantees a live tracer
 }
+
+// flushLoopUnguarded is the in-band flush shape gone wrong: one instant per
+// drained flow generation, emitted inside the drain loop with no guard. A
+// collector wired without a tracer must not panic on flush.
+func (l *layer) flushLoopUnguarded(ts int64, flows []int64) {
+	for i := range flows {
+		l.tr.Instant(ts+int64(i), "inband", "path_flush", 6) // want:tracenil "nil-tracer guard"
+	}
+}
+
+// flushLoopGuarded is the correct in-band flush: the guard hoisted above
+// the drain loop covers every emission in the body.
+func (l *layer) flushLoopGuarded(ts int64, flows []int64) {
+	if l.tr == nil {
+		return
+	}
+	for i := range flows {
+		l.tr.Instant(ts+int64(i), "inband", "path_flush", 6)
+	}
+}
+
+// flushPerRecordGuarded guards at the emission site itself — the shape the
+// collector uses when only some records warrant a trace event.
+func (l *layer) flushPerRecordGuarded(ts int64, flows []int64) {
+	for i := range flows {
+		if l.tr != nil {
+			l.tr.Counter(ts+int64(i), "inband_records", float64(i))
+		}
+	}
+}

@@ -133,6 +133,9 @@ func (s *Sim) recompute() {
 			}
 		}
 	}
+	if s.inband != nil {
+		s.inbandRefresh()
+	}
 
 	s.scheduleCompletion()
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"hpn/internal/hashing"
+	"hpn/internal/inband"
 	"hpn/internal/route"
 	"hpn/internal/sim"
 	"hpn/internal/telemetry"
@@ -60,6 +61,23 @@ type Flow struct {
 	DoneAt    sim.Time
 
 	index int // position in Sim.active; -1 once finished
+
+	// ib holds the in-band telemetry state, allocated only under
+	// Sim.EnableInband so the disabled case costs Flow a single nil
+	// pointer.
+	ib *flowInband
+}
+
+// flowInband is one flow's in-band path-telemetry state: the hash
+// decisions behind the current path, per-hop bandwidth and queue-residency
+// accumulators parallel to Path, and the generation bookkeeping (epoch
+// counts reroutes, since stamps the generation's start).
+type flowInband struct {
+	hops    []route.HopDecision
+	hopBits []float64
+	hopQBS  []float64
+	since   sim.Time
+	epoch   int
 }
 
 // Done reports whether the flow has completed.
@@ -107,6 +125,18 @@ type Sim struct {
 
 	flowLog    []FlowRecord
 	flowLogCap int
+
+	// In-band path telemetry (nil = disabled; see EnableInband). The ib*
+	// arrays mirror the allocator scratch: per-link offered demand,
+	// capacity, queue proxy, per-step queue integral, and the live-link
+	// worklist with its membership mask.
+	inband    *inband.Collector
+	ibDemand  []float64
+	ibCap     []float64
+	ibQueue   []float64
+	ibQStep   []float64
+	ibLive    []topo.LinkID
+	ibLiveSet []bool
 
 	// Telemetry surfaces; nil (the default) disables each with one nil
 	// check on the hot paths. See AttachTelemetry.
@@ -206,11 +236,23 @@ func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*
 
 // routeFlow (re)computes a flow's port and path from current fabric state.
 // On blackhole or no-port it marks the flow stalled with the best-known
-// path (possibly nil).
+// path (possibly nil). Under in-band telemetry the previous path
+// generation is flushed first and the new walk records its hash decisions.
 func (s *Sim) routeFlow(f *Flow) error {
 	now := s.Eng.Now()
+	s.inbandFlush(f)
 	tryPort := func(port int) bool {
-		path, blackholed, err := s.R.Path(f.Src, f.Dst, port, f.Tuple, now)
+		var path []topo.LinkID
+		var blackholed bool
+		var err error
+		if s.inband != nil {
+			ib := f.inbandState()
+			ib.hops = ib.hops[:0]
+			path, blackholed, err = s.R.PathObserved(f.Src, f.Dst, port, f.Tuple, now,
+				func(d route.HopDecision) { ib.hops = append(ib.hops, d) })
+		} else {
+			path, blackholed, err = s.R.Path(f.Src, f.Dst, port, f.Tuple, now)
+		}
 		f.Port = port
 		f.Path = path
 		f.Stalled = blackholed || err != nil
@@ -224,6 +266,7 @@ func (s *Sim) routeFlow(f *Flow) error {
 	// transparent to the application, §4).
 	if p := f.PinnedPort; p >= 0 &&
 		s.Top.LinkUsable(s.Top.AccessLink(f.Src.Host, f.Src.NIC, p)) && tryPort(p) {
+		s.inbandOpen(f)
 		return nil
 	}
 	p, err := s.R.PickAccessPort(f.Src, f.Dst, f.Tuple, now)
@@ -231,9 +274,14 @@ func (s *Sim) routeFlow(f *Flow) error {
 		f.Stalled = true
 		f.Path = nil
 		f.Rate = 0
+		if f.ib != nil {
+			f.ib.hops = f.ib.hops[:0]
+		}
+		s.inbandOpen(f)
 		return nil // flow exists but cannot move; not a caller error
 	}
 	tryPort(p)
+	s.inbandOpen(f)
 	return nil
 }
 
@@ -270,6 +318,9 @@ func (s *Sim) advance() {
 		for _, p := range s.probeList {
 			p.integrate(s.lastAdvance.Seconds(), dt, s.PortBufferBytes)
 		}
+		if s.inband != nil {
+			s.inbandIntegrate(dt)
+		}
 	}
 	s.lastAdvance = now
 }
@@ -297,6 +348,7 @@ func (s *Sim) completionEvent() {
 		s.CompletedBits += f.Bits
 		s.countTiers(f)
 		s.logFlow(f)
+		s.inbandFlush(f)
 		s.ctrFlows.Inc()
 		if s.Trace != nil {
 			s.Trace.Complete(int64(f.StartedAt), int64(f.DoneAt-f.StartedAt),
@@ -333,6 +385,7 @@ func (s *Sim) AbortFlow(f *Flow) {
 	s.beginMutate()
 	defer s.endMutate()
 	s.removeActive(f)
+	s.inbandFlush(f)
 	f.Stalled = false
 	f.Rate = 0
 }

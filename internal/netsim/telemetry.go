@@ -32,6 +32,10 @@ func (s *Sim) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, pre
 	if s.flowLog != nil {
 		s.registerFlowLogExporter()
 	}
+	if s.inband != nil {
+		s.inband.AttachTracer(tr)
+		s.registerInbandExporters()
+	}
 }
 
 // registerFlowLogExporter exposes the completed-flow TSV as a named

@@ -209,12 +209,47 @@ func (r *Router) PickAccessPort(src, dst Endpoint, tuple hashing.FiveTuple, now 
 	return candidates[h.Select(tuple, len(candidates))], nil
 }
 
+// HopDecision records how one link of a path was chosen — the in-band
+// telemetry a production INT deployment would stamp into packet metadata at
+// each switch. One decision is emitted per path link, in path order. Links
+// that involve no hashing (the source access link, ToR->host delivery)
+// carry Hashed=false and zeroed hash fields.
+type HopDecision struct {
+	// Link is the chosen directed link; it equals the path entry at the
+	// same index.
+	Link topo.LinkID
+	// Node is the switch that made the ECMP choice (None for unhashed hops).
+	Node topo.NodeID
+	// Hashed marks ECMP stages; unhashed hops are access/delivery links.
+	Hashed bool
+	// Seed is the deciding switch's hash seed (the polarization fingerprint:
+	// shared seeds across tiers are what degenerate conditional bucket
+	// distributions trace back to).
+	Seed uint64
+	// Group is the ECMP group size and Bucket the selected member index.
+	Group  int
+	Bucket int
+	// PerPort marks the §7 per-(ingress-port, dst-pod) Core hash; Fallback
+	// marks the dead-member 5-tuple fallback of that mode.
+	PerPort  bool
+	Fallback bool
+	// Down reports whether the group pointed toward the hosts.
+	Down bool
+}
+
 // Path walks the fabric from src to dst for the given tuple, entering at
 // srcPort. It returns the ordered directed links. If a hop hashes onto a
 // link that is physically dead but not yet withdrawn, the walk still takes
 // it and reports blackholed=true: the flow will stall there until routing
 // converges and the path is recomputed.
 func (r *Router) Path(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, now sim.Time) (path []topo.LinkID, blackholed bool, err error) {
+	return r.PathObserved(src, dst, srcPort, tuple, now, nil)
+}
+
+// PathObserved is Path with in-band visibility: when obs is non-nil it is
+// invoked once per appended path link, in order, with the hash decision (or
+// lack of one) behind that hop. A nil obs is exactly Path.
+func (r *Router) PathObserved(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, now sim.Time, obs func(HopDecision)) (path []topo.LinkID, blackholed bool, err error) {
 	t := r.T
 	if src.Host == dst.Host {
 		return nil, false, fmt.Errorf("route: intra-host traffic does not use the fabric")
@@ -224,6 +259,9 @@ func (r *Router) Path(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, n
 		return nil, false, fmt.Errorf("route: source access port %d down", srcPort)
 	}
 	path = append(path, access)
+	if obs != nil {
+		obs(HopDecision{Link: access, Node: topo.None})
+	}
 	cur := t.Link(access).To
 	arriving := access
 
@@ -236,11 +274,11 @@ func (r *Router) Path(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, n
 		// the §4.2 ARP-proxy + host-route behaviour.
 		if node.Kind == topo.KindToR {
 			if down, ok := r.deliveryLink(cur, dst); ok {
-				if t.LinkUsable(down) {
-					return append(path, down), false, nil
-				}
-				if !r.converged(down, now) {
-					return append(path, down), true, nil
+				if t.LinkUsable(down) || !r.converged(down, now) {
+					if obs != nil {
+						obs(HopDecision{Link: down, Node: topo.None, Down: true})
+					}
+					return append(path, down), !t.LinkUsable(down), nil
 				}
 				// Withdrawn: fall through to the ECMP walk.
 			}
@@ -250,21 +288,32 @@ func (r *Router) Path(src, dst Endpoint, srcPort int, tuple hashing.FiveTuple, n
 			return path, true, fmt.Errorf("route: empty ECMP group at %s toward %v", node.Name, dst)
 		}
 		var chosen topo.LinkID
+		bucket, perPort, fallback := 0, false, false
 		if node.PerPortHash && down {
 			// §7: per-(ingress port, dst pod) hash at the Core, falling
 			// back to the 5-tuple hash if the preferred member is dead.
 			ph := hashing.PortHasher{Seed: node.HashSeed}
 			dstPod := t.Hosts[dst.Host].Pod
-			pick := ph.Select(t.Link(arriving).ToPort, dstPod, len(group))
-			chosen = group[pick]
+			bucket, perPort = ph.Select(t.Link(arriving).ToPort, dstPod, len(group)), true
+			chosen = group[bucket]
 			if !t.LinkUsable(chosen) && r.converged(chosen, now) {
-				chosen = group[ph.FallbackSelect(tuple, len(group))]
+				fallback = true
+				bucket = ph.FallbackSelect(tuple, len(group))
+				chosen = group[bucket]
 			}
 		} else {
 			h := hashing.Hasher{Seed: node.HashSeed}
-			chosen = group[h.Select(tuple, len(group))]
+			bucket = h.Select(tuple, len(group))
+			chosen = group[bucket]
 		}
 		path = append(path, chosen)
+		if obs != nil {
+			obs(HopDecision{
+				Link: chosen, Node: cur, Hashed: true, Seed: node.HashSeed,
+				Group: len(group), Bucket: bucket, PerPort: perPort,
+				Fallback: fallback, Down: down,
+			})
+		}
 		if !t.LinkUsable(chosen) {
 			return path, true, nil
 		}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSamplerRingWraparound drives a bounded sampler far past its ring
+// capacity: the retained window must be exactly the most recent RingCap
+// samples, oldest first, with everything earlier evicted.
+func TestSamplerRingWraparound(t *testing.T) {
+	s := NewSampler(1, 4)
+	tick := 0.0
+	p := s.Track("v", func() float64 { tick++; return tick })
+	for i := 0; i < 10; i++ {
+		s.Sample(int64(i) * 1_000_000_000)
+	}
+	if p.Ring.Len() != 4 {
+		t.Fatalf("ring holds %d samples, want 4", p.Ring.Len())
+	}
+	for i := 0; i < 4; i++ {
+		pt := p.Ring.At(i)
+		if want := float64(7 + i); pt.V != want {
+			t.Fatalf("retained sample %d = %v, want %v (oldest-first window)", i, pt.V, want)
+		}
+		if want := float64(6 + i); pt.T != want {
+			t.Fatalf("retained sample %d at t=%v, want %v", i, pt.T, want)
+		}
+	}
+
+	var b bytes.Buffer
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 retained samples:\n%s", len(lines), b.String())
+	}
+	if lines[1] != "v,6,7" || lines[4] != "v,9,10" {
+		t.Fatalf("CSV window wrong:\n%s", b.String())
+	}
+}
+
+// TestSamplerWriteCSVEmpty covers the zero-probe and zero-sample artifact:
+// both must still be a valid CSV (header only), never an error.
+func TestSamplerWriteCSVEmpty(t *testing.T) {
+	const header = "series,t_seconds,value\n"
+
+	noProbes := NewSampler(1, 4)
+	var b bytes.Buffer
+	if err := noProbes.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != header {
+		t.Fatalf("zero-probe CSV = %q, want header only", b.String())
+	}
+
+	noSamples := NewSampler(1, 4)
+	noSamples.Track("v", func() float64 { return 1 })
+	b.Reset()
+	if err := noSamples.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != header {
+		t.Fatalf("zero-sample CSV = %q, want header only", b.String())
+	}
+}
+
+// TestHubWriteArtifacts checks the run-directory dump: every registered
+// exporter lands as one file, in registration order, with path separators
+// flattened out of artifact names.
+func TestHubWriteArtifacts(t *testing.T) {
+	h := NewHub(Options{})
+	h.Registry.RegisterExporter("b.tsv", func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	})
+	h.Registry.RegisterExporter("a/nested.csv", func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	})
+	dir := t.TempDir()
+	paths, err := h.WriteArtifacts(filepath.Join(dir, "run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "run", "b.tsv"),
+		filepath.Join(dir, "run", "a_nested.csv"),
+	}
+	if len(paths) != 2 || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+	for i, content := range []string{"second", "first"} {
+		got, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("%s holds %q, want %q", paths[i], got, content)
+		}
+	}
+}

@@ -2,6 +2,9 @@ package telemetry
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -21,6 +24,13 @@ type Options struct {
 	// SamplePorts caps how many ToR uplink ports a cluster auto-tracks
 	// for per-port utilization/queue sampling.
 	SamplePorts int
+	// Inband enables in-band path telemetry on attached clusters: per-flow
+	// per-hop records (bandwidth attribution, queue residency, ECMP hash
+	// decisions) exported as the "inband.tsv"/"inband.json" artifacts.
+	Inband bool
+	// InbandMax bounds the retained per-hop records per cluster
+	// (0 = unbounded); records past the cap are counted as dropped.
+	InbandMax int
 }
 
 // DefaultOptions enables tracing and a 10ms-virtual-time sampler keeping
@@ -79,4 +89,36 @@ func (h *Hub) Samplers() []*Sampler {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]*Sampler(nil), h.samplers...)
+}
+
+// WriteArtifacts runs every registered artifact exporter, writing each to
+// dir/<name> (path separators in names are flattened to '_'). It returns
+// the paths written, in exporter registration order.
+func (h *Hub) WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, name := range h.Registry.ExporterNames() {
+		base := strings.Map(func(r rune) rune {
+			if r == '/' || r == os.PathSeparator {
+				return '_'
+			}
+			return r
+		}, name)
+		path := filepath.Join(dir, base)
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		if err := h.Registry.Export(name, f); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("telemetry: exporting %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
 }

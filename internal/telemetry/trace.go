@@ -29,6 +29,7 @@ const (
 	TidRoute          = 3
 	TidWorkload       = 4
 	TidFailure        = 5
+	TidInband         = 6
 	TidCollectiveBase = 16
 )
 
