@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet lint build test bench bench-smoke
+.PHONY: ci fmt vet lint build test test-parallel bench bench-smoke
 
 # Full gate: formatting, go vet, build, hpnlint determinism/invariant rules,
-# tests under the race detector, and the bench/forensics smoke run.
-ci: fmt vet build lint test bench-smoke
+# tests under the race detector (serial and parallel-allocator passes), and
+# the bench/forensics smoke run.
+ci: fmt vet build lint test test-parallel bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -25,6 +26,14 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Parallel-allocator gate: the netsim suite (differential + property tests)
+# under the race detector with real parallelism available, plus the golden
+# determinism tests — which include the serial-vs-parallel-fill byte
+# comparison — so a scheduling-dependent allocation can never land green.
+test-parallel:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/netsim/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run TestGoldenDeterminism .
 
 bench:
 	$(GO) test -run=^$$ -bench=Telemetry -benchmem .

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// runCompare diffs two BENCH_<stamp>.json snapshots (see benchSnapshot) and
+// writes a per-scenario delta table: wall time, heap allocations and
+// simulated-flow throughput. It returns the number of regressions — a
+// scenario whose flows/sec dropped by more than the tolerance relative to
+// the old snapshot. Scenarios are compared in old-snapshot order, then any
+// new-only scenarios are listed; scenarios present only on one side never
+// count as regressions (the run sets differ, not the code).
+func runCompare(oldPath, newPath string, tolerance float64, w io.Writer) (int, error) {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	newByName := map[string]benchEntry{}
+	for _, e := range newSnap.Entries {
+		newByName[e.Scenario] = e
+	}
+	oldNames := map[string]bool{}
+
+	fmt.Fprintf(w, "bench compare: %s (gomaxprocs %d) -> %s (gomaxprocs %d), tolerance %.0f%%\n",
+		oldSnap.Stamp, oldSnap.GoMaxProcs, newSnap.Stamp, newSnap.GoMaxProcs, tolerance*100)
+	fmt.Fprintf(w, "%-10s %12s %12s %8s %12s %12s %8s %14s %14s %8s\n",
+		"scenario", "wall_old", "wall_new", "d_wall",
+		"allocs_old", "allocs_new", "d_alloc",
+		"fps_old", "fps_new", "d_fps")
+
+	regressions := 0
+	for _, o := range oldSnap.Entries {
+		oldNames[o.Scenario] = true
+		n, ok := newByName[o.Scenario]
+		if !ok {
+			fmt.Fprintf(w, "%-10s %12s %12s   (scenario missing from new snapshot)\n",
+				o.Scenario, fmtMS(o.WallNS), "-")
+			continue
+		}
+		status := ""
+		if o.FlowsPerSec > 0 && n.FlowsPerSec < o.FlowsPerSec/(1+tolerance) {
+			status = "  REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-10s %12s %12s %7.1f%% %12d %12d %7.1f%% %14.0f %14.0f %7.1f%%%s\n",
+			o.Scenario,
+			fmtMS(o.WallNS), fmtMS(n.WallNS), pctDelta(float64(o.WallNS), float64(n.WallNS)),
+			o.Allocs, n.Allocs, pctDelta(float64(o.Allocs), float64(n.Allocs)),
+			o.FlowsPerSec, n.FlowsPerSec, pctDelta(o.FlowsPerSec, n.FlowsPerSec),
+			status)
+	}
+	for _, n := range newSnap.Entries {
+		if oldNames[n.Scenario] {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %12s %12s   (scenario new in this snapshot)\n",
+			n.Scenario, "-", fmtMS(n.WallNS))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d scenario(s) regressed beyond %.0f%% flows/sec tolerance\n",
+			regressions, tolerance*100)
+	}
+	return regressions, nil
+}
+
+func loadSnapshot(path string) (*benchSnapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s benchSnapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Entries) == 0 {
+		return nil, fmt.Errorf("%s: snapshot has no entries", path)
+	}
+	return &s, nil
+}
+
+// pctDelta returns the signed percent change from old to cur (0 when old
+// is not positive: snapshot fields are non-negative counters, and an empty
+// baseline has no meaningful ratio).
+func pctDelta(old, cur float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+// fmtMS renders nanoseconds as milliseconds with a unit.
+func fmtMS(ns int64) string {
+	return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+}

@@ -36,8 +36,26 @@ func main() {
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 		inbandTo = flag.String("inband", "", "enable in-band path telemetry on every cluster; write the per-hop inband.tsv/json (and other registry artifacts) into this directory after the sweep")
 		benchOut = flag.String("benchout", "", "write a BENCH_<stamp>.json perf snapshot (scenario, ns/op, allocs, flows/sec) into this directory")
+		compare  = flag.Bool("compare", false, "compare two BENCH snapshots: hpnbench -compare old.json new.json")
+		tol      = flag.Float64("tolerance", 0.10, "with -compare: flows/sec may drop by this fraction before a scenario counts as regressed")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "hpnbench: -compare needs exactly two snapshot paths: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *tol, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpnbench: compare: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range hpn.Experiments() {

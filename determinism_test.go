@@ -16,7 +16,7 @@ import (
 // that could perturb the output (placement, collective schedules,
 // retransmits after the failure, telemetry emission order, path-epoch
 // flushes on reroute) is exercised on purpose.
-func goldenArtifacts(t *testing.T) (flowlog, trace, ibTSV, ibJSON []byte) {
+func goldenArtifacts(t *testing.T, tune ...func(c *Cluster)) (flowlog, trace, ibTSV, ibJSON []byte) {
 	t.Helper()
 	opt := DefaultTelemetryOptions()
 	opt.Inband = true
@@ -24,6 +24,9 @@ func goldenArtifacts(t *testing.T) (flowlog, trace, ibTSV, ibJSON []byte) {
 	c, err := NewHPN(SmallHPN(1, 8, 8))
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, fn := range tune {
+		fn(c)
 	}
 	c.EnableTelemetry(hub)
 	c.Net.EnableFlowLog(0)
@@ -131,6 +134,36 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if line, a, b := firstDivergence(ij1, ij2); line != 0 {
 		t.Errorf("in-band JSON diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
+			line, a, b)
+	}
+}
+
+// TestGoldenDeterminismParallelFill extends the gate across the allocator's
+// parallel mode: the same instrumented run with component filling forced
+// onto multiple goroutines (threshold dropped so even tiny recomputes
+// parallelize) must produce the same bytes as the serial run. Component
+// fills are schedule-independent by construction (alloc.go); this pins it.
+func TestGoldenDeterminismParallelFill(t *testing.T) {
+	flow1, trace1, ib1, ij1 := goldenArtifacts(t)
+	flow2, trace2, ib2, ij2 := goldenArtifacts(t, func(c *Cluster) {
+		c.Net.ParallelFill = 4
+		c.Net.ParallelFillMinFlows = 1
+	})
+
+	if line, a, b := firstDivergence(flow1, flow2); line != 0 {
+		t.Errorf("flow-log TSV diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
+			line, a, b)
+	}
+	if line, a, b := firstDivergence(trace1, trace2); line != 0 {
+		t.Errorf("trace JSON diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
+			line, a, b)
+	}
+	if line, a, b := firstDivergence(ib1, ib2); line != 0 {
+		t.Errorf("in-band TSV diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
+			line, a, b)
+	}
+	if line, a, b := firstDivergence(ij1, ij2); line != 0 {
+		t.Errorf("in-band JSON diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
 			line, a, b)
 	}
 }

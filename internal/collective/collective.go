@@ -207,6 +207,11 @@ type Op struct {
 	pending    int
 	roundStart sim.Time
 	onDone     func(now sim.Time, r Result)
+
+	// doneFn is o.flowDone bound once at start: evaluating the method value
+	// inside the send loop allocated a closure per chunk, hundreds per ring
+	// round.
+	doneFn func(now sim.Time)
 }
 
 // busFactor returns the BusBW multiplier for the op (NCCL conventions).

@@ -136,6 +136,7 @@ func allRails(n int) []int {
 // start schedules the op's first stage.
 func (o *Op) start() {
 	o.started = o.g.Net.Eng.Now()
+	o.doneFn = o.flowDone
 	if o.pre > 0 {
 		o.g.Net.Eng.Schedule(o.pre, o.runStep)
 		return
@@ -169,26 +170,30 @@ func (o *Op) runStep() {
 	o.roundStart = now
 	nChunks := g.Cfg.ChunksPerMessage
 	sub := o.chunk / float64(nChunks)
-	for _, r := range o.rails {
-		for i := range g.Hosts {
-			cs := g.conns[r][i]
-			for c := 0; c < nChunks; c++ {
-				o.pending++
-				var err error
-				if g.Cfg.Policy == PolicyDisjoint || g.Cfg.Policy == PolicyBlind {
-					_, err = cs.Send(sub, o.flowDone)
-				} else {
-					_, err = cs.SendOn(c, sub, o.flowDone)
-				}
-				if err != nil {
-					// A fully unreachable peer stalls the collective, like
-					// a real ring would; account the chunk as never
-					// completing.
-					o.pending--
+	// All of a round's flows start at the same instant, so batch the sends
+	// into one rate recomputation instead of one per flow.
+	g.Net.Batch(func() {
+		for _, r := range o.rails {
+			for i := range g.Hosts {
+				cs := g.conns[r][i]
+				for c := 0; c < nChunks; c++ {
+					o.pending++
+					var err error
+					if g.Cfg.Policy == PolicyDisjoint || g.Cfg.Policy == PolicyBlind {
+						_, err = cs.Send(sub, o.doneFn)
+					} else {
+						_, err = cs.SendOn(c, sub, o.doneFn)
+					}
+					if err != nil {
+						// A fully unreachable peer stalls the collective, like
+						// a real ring would; account the chunk as never
+						// completing.
+						o.pending--
+					}
 				}
 			}
 		}
-	}
+	})
 	if o.pending == 0 {
 		// Nothing could be sent at all; finish defensively to avoid hangs.
 		o.finish()

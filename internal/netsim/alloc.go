@@ -1,19 +1,123 @@
 package netsim
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"hpn/internal/sim"
 	"hpn/internal/topo"
 )
 
-// recompute performs the max-min fair (progressive filling) bandwidth
-// allocation over all running flows, refreshes probe accumulators, and
-// schedules the next completion event.
+// This file is the max-min fair (progressive filling) allocator, rewritten
+// around link-centric accounting:
 //
-// Progressive filling: repeatedly find the most constrained link (smallest
-// headroom per unfrozen flow), freeze its flows at that fair share, subtract
-// their rates everywhere, and continue until every flow is frozen. All links
-// tied at the bottleneck share are frozen together, which collapses the
-// iteration count on symmetric fabrics.
+//   - Gathering runnable flows builds, per touched link, a flow-incidence
+//     list alongside the remaining-capacity / share-count scratch. The
+//     incidence lists replace the original "rescan every flow x hop per
+//     filling round" inner loop: each filling round pops the most
+//     constrained link from a min-heap and freezes exactly the flows
+//     crossing it, so total fill work is O(F*P + L_touched*log L) instead
+//     of O(rounds * F * P).
+//   - The active flow set is decomposed into connected components of the
+//     flow-link contention graph (union-find over path links). Components
+//     share no links, so their fills are independent; they run serially or,
+//     past a size threshold, in parallel across goroutines gated by
+//     GOMAXPROCS. Each component touches only its own flows and links, and
+//     the only cross-component result — the earliest projected completion —
+//     is merged after the workers join, in component order (components are
+//     created in deterministic active-flow order, keyed by their
+//     smallest-indexed flow). The merge is an exact float min, so the
+//     allocation and every artifact derived from it are byte-identical
+//     whether filling ran on one goroutine or eight.
+//   - The next-completion scan is gone: the minimum Remaining/Rate is
+//     tracked incrementally while flows freeze, and the single completion
+//     Event is re-armed in place (Engine.Reschedule) instead of
+//     cancel+reallocate.
+//
+// The original flows-x-hops implementation is preserved verbatim (with its
+// defensive branch fixed) in alloc_reference.go and pinned against this one
+// by the differential property tests.
+
+// allocComp is one connected component of the flow-link contention graph:
+// the indices (into the unfrozen scratch) of its flows, the touched links
+// they cross, and the component's earliest projected completion in seconds
+// (-1 when none of its flows received a positive rate).
+type allocComp struct {
+	flows []int32
+	links []topo.LinkID
+	minT  float64
+}
+
+// heapEnt is one candidate bottleneck: a link and the fair share it offered
+// when keyed. Entries go stale as flows freeze (shares only grow); a stale
+// minimum is detected by recomputing the share and re-keyed in place at its
+// current value, so each link holds exactly one live entry until it drains.
+type heapEnt struct {
+	share float64
+	link  topo.LinkID
+}
+
+// linkHeap is a binary min-heap of (share, link), ordered by share then
+// link ID so equal-share pops are deterministic. It is seeded by bulk
+// heapify and updated in place (replace-top) on stale entries, so each
+// entry costs one sift rather than a pop/push pair.
+type linkHeap []heapEnt
+
+func entLess(a, b heapEnt) bool {
+	if a.share < b.share {
+		return true
+	}
+	if a.share > b.share {
+		return false
+	}
+	return a.link < b.link
+}
+
+// heapify establishes the heap invariant over arbitrary contents in O(n).
+func (h linkHeap) heapify() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h linkHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && entLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && entLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// popDiscard removes the minimum entry (the caller has already read it).
+func (h *linkHeap) popDiscard() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	s.siftDown(0)
+}
+
+// defaultParallelMinFlows is the runnable-flow count below which component
+// filling always stays on the calling goroutine: under it, spawn cost
+// exceeds the fill work.
+const defaultParallelMinFlows = 192
+
+// recompute performs the max-min fair bandwidth allocation over all running
+// flows, refreshes probe accumulators, and (re-)arms the next completion
+// event. See the file comment for the algorithm.
 func (s *Sim) recompute() {
 	s.curEpoch++
 	s.touched = s.touched[:0]
@@ -24,19 +128,25 @@ func (s *Sim) recompute() {
 		s.Trace.Counter(int64(s.Eng.Now()), "active_flows", float64(len(s.active)))
 	}
 
-	// Gather running flows and initialize link accounting.
-	unfrozen := make([]*Flow, 0, len(s.active))
+	// Gather running flows; initialize link accounting and incidence lists.
+	unfrozen := s.unfrozen[:0]
 	for _, f := range s.active {
-		if f.Stalled {
+		if f.Stalled || len(f.Path) == 0 {
 			f.Rate = 0
 			continue
 		}
+		idx := int32(len(unfrozen))
 		unfrozen = append(unfrozen, f)
-		for _, lk := range f.Path {
+		for i, lk := range f.Path {
 			s.touch(lk)
 			s.nShare[lk]++
+			s.inc[lk] = append(s.inc[lk], idx)
+			if i > 0 {
+				s.union(f.Path[0], lk)
+			}
 		}
 	}
+	s.unfrozen = unfrozen
 
 	// Offered-demand model for the queue proxy: a flow wishes for its fair
 	// share at its first (access) link.
@@ -48,88 +158,85 @@ func (s *Sim) recompute() {
 		}
 	}
 
-	const eps = 1e-9
-	for len(unfrozen) > 0 {
-		// Find the bottleneck share.
-		min := -1.0
-		for _, f := range unfrozen {
-			for _, lk := range f.Path {
-				if s.nShare[lk] == 0 {
-					continue
-				}
-				share := s.capRem[lk] / float64(s.nShare[lk])
-				if min < 0 || share < min {
-					min = share
-				}
-			}
+	// Component decomposition: components are created in active-flow order
+	// (the first — smallest-indexed — flow of each component names it), so
+	// the component list and everything derived from it is deterministic.
+	s.comps = s.comps[:0]
+	if cap(s.frozen) < len(unfrozen) {
+		s.frozen = make([]bool, len(unfrozen))
+	}
+	s.frozen = s.frozen[:len(unfrozen)]
+	for i := range s.frozen {
+		s.frozen[i] = false
+	}
+	for i, f := range unfrozen {
+		root := s.find(int32(f.Path[0]))
+		ci := s.compOf[root]
+		if ci < 0 {
+			ci = int32(s.addComp())
+			s.compOf[root] = ci
 		}
-		if min < 0 {
-			break
-		}
-		// Freeze every flow crossing a link at (or below) the bottleneck
-		// share.
-		kept := unfrozen[:0]
-		for _, f := range unfrozen {
-			freeze := false
-			for _, lk := range f.Path {
-				if s.nShare[lk] == 0 {
-					continue
-				}
-				share := s.capRem[lk] / float64(s.nShare[lk])
-				if share <= min*(1+1e-9)+eps {
-					freeze = true
-					break
-				}
-			}
-			if freeze {
-				f.Rate = min
-				for _, lk := range f.Path {
-					s.capRem[lk] -= min
-					if s.capRem[lk] < 0 {
-						s.capRem[lk] = 0
+		c := &s.comps[ci]
+		c.flows = append(c.flows, int32(i))
+	}
+	for _, lk := range s.touched {
+		c := &s.comps[s.compOf[s.find(int32(lk))]]
+		c.links = append(c.links, lk)
+	}
+
+	// Fill each component independently — in parallel when the flow set is
+	// big enough and more than one worker is available.
+	if workers := s.fillWorkers(); workers > 1 {
+		s.ensureHeaps(workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			h := &s.heaps[w]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(s.comps) {
+						return
 					}
-					s.nShare[lk]--
+					s.comps[i].minT = s.fillComponent(&s.comps[i], h)
 				}
-			} else {
-				kept = append(kept, f)
-			}
+			}()
 		}
-		if len(kept) == len(unfrozen) {
-			// Defensive: should be impossible, but never spin.
-			for _, f := range kept {
-				f.Rate = min
-			}
-			kept = kept[:0]
+		wg.Wait()
+	} else {
+		s.ensureHeaps(1)
+		for i := range s.comps {
+			s.comps[i].minT = s.fillComponent(&s.comps[i], &s.heaps[0])
 		}
-		unfrozen = kept
+	}
+	// Deterministic merge: exact float min over components in creation
+	// order. The result does not depend on which worker filled what.
+	best := -1.0
+	for i := range s.comps {
+		if t := s.comps[i].minT; t >= 0 && (best < 0 || t < best) {
+			best = t
+		}
 	}
 
 	// Refresh probe accumulators from the new allocation. Iteration goes
-	// through the registration-ordered probeList, never the lookup map, so
+	// through the registration-ordered probeList, never a map, so
 	// accumulator refresh order (and anything it may ever feed) stays
-	// deterministic.
+	// deterministic. Utilization comes from the link's incidence list —
+	// summed in gather (= active) order, exactly as the previous
+	// all-flows-x-hops scan accumulated it.
 	for _, p := range s.probeList {
 		p.util, p.demand = 0, 0
-	}
-	if len(s.probeList) > 0 {
-		for _, f := range s.active {
-			if f.Stalled {
-				continue
-			}
-			for _, lk := range f.Path {
-				if p, ok := s.probes[lk]; ok {
-					p.util += f.Rate
-				}
-			}
+		lk := p.Link
+		p.cap = s.Top.Link(lk).CapBps
+		if !s.Top.LinkUsable(lk) {
+			p.cap = 0
 		}
-		for _, p := range s.probeList {
-			lk := p.Link
-			if s.epoch[lk] == s.curEpoch {
-				p.demand = s.demand[lk]
-			}
-			p.cap = s.Top.Link(lk).CapBps
-			if !s.Top.LinkUsable(lk) {
-				p.cap = 0
+		if s.epoch[lk] == s.curEpoch {
+			p.demand = s.demand[lk]
+			for _, fi := range s.inc[lk] {
+				p.util += unfrozen[fi].Rate
 			}
 		}
 	}
@@ -137,7 +244,128 @@ func (s *Sim) recompute() {
 		s.inbandRefresh()
 	}
 
-	s.scheduleCompletion()
+	s.scheduleCompletion(best)
+}
+
+// fillWorkers decides the fill parallelism for this recompute: 1 unless
+// there are at least two components and enough runnable flows to amortize
+// goroutine startup. ParallelFill pins the worker count (1 forces serial);
+// 0 defers to GOMAXPROCS.
+func (s *Sim) fillWorkers() int {
+	if len(s.comps) < 2 {
+		return 1
+	}
+	minFlows := s.ParallelFillMinFlows
+	if minFlows <= 0 {
+		minFlows = defaultParallelMinFlows
+	}
+	if len(s.unfrozen) < minFlows {
+		return 1
+	}
+	w := s.ParallelFill
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(s.comps) {
+		w = len(s.comps)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ensureHeaps grows the per-worker heap scratch to n entries.
+func (s *Sim) ensureHeaps(n int) {
+	for len(s.heaps) < n {
+		s.heaps = append(s.heaps, nil)
+	}
+}
+
+// fillComponent runs progressive filling over one component and returns its
+// earliest projected completion in seconds (-1 if none). It reads and
+// writes only the component's own flows and links (plus the worker-private
+// heap), which is what makes parallel component fills race-free and
+// schedule-independent.
+//
+// Invariant behind the lazy heap: freezing a flow at the current bottleneck
+// share can only raise the share of every link it crosses, so a popped
+// entry whose recorded share is below the link's current share is stale and
+// is re-pushed at its current value; a fresh pop is the exact component-wide
+// minimum (every other link's current share is at least its heap key). The
+// tie tolerance matches the reference implementation's freeze threshold.
+func (s *Sim) fillComponent(c *allocComp, h *linkHeap) float64 {
+	hs := (*h)[:0]
+	for _, lk := range c.links {
+		if n := s.nShare[lk]; n > 0 {
+			hs = append(hs, heapEnt{share: s.capRem[lk] / float64(n), link: lk})
+		}
+	}
+	hs.heapify()
+	*h = hs
+	minT := -1.0
+	// live counts the component's still-unfrozen flows: once it hits zero
+	// the remaining heap entries can only be drained or stale links, so the
+	// loop stops instead of sifting through them (the dominant waste on
+	// symmetric workloads where one plateau freezes everything).
+	live := len(c.flows)
+	for live > 0 && len(*h) > 0 {
+		e := (*h)[0]
+		n := s.nShare[e.link]
+		if n == 0 {
+			h.popDiscard() // fully drained by earlier freezes
+			continue
+		}
+		cur := s.capRem[e.link] / float64(n)
+		if cur > e.share*(1+1e-9)+1e-9 {
+			// Stale: the share grew since the entry was keyed. Re-key it in
+			// place and restore the invariant with a single sift.
+			(*h)[0].share = cur
+			(*h).siftDown(0)
+			continue
+		}
+		h.popDiscard()
+		for _, fi := range s.inc[e.link] {
+			if s.frozen[fi] {
+				continue
+			}
+			s.frozen[fi] = true
+			live--
+			f := s.unfrozen[fi]
+			f.Rate = cur
+			if cur > 0 {
+				if t := f.Remaining / cur; minT < 0 || t < minT {
+					minT = t
+				}
+			}
+			for _, l2 := range f.Path {
+				rem := s.capRem[l2] - cur
+				if rem < 0 {
+					rem = 0 // float guard; exact arithmetic keeps this >= 0
+				}
+				s.capRem[l2] = rem
+				s.nShare[l2]--
+			}
+		}
+	}
+	// Defensive: a flow every one of whose links drained without freezing
+	// it cannot occur (its own membership keeps nShare >= 1 on each of its
+	// links, and each such link holds a heap entry until processed), but if
+	// the invariant ever broke we must not leave stale rates or corrupt the
+	// share accounting — park the flow at zero rate and retire its path
+	// shares consistently.
+	for _, fi := range c.flows {
+		if s.frozen[fi] {
+			continue
+		}
+		s.frozen[fi] = true
+		f := s.unfrozen[fi]
+		f.Rate = 0
+		for _, l2 := range f.Path {
+			s.nShare[l2]--
+		}
+	}
+	return minT
 }
 
 // touch initializes the scratch accounting for a link in this epoch.
@@ -153,28 +381,69 @@ func (s *Sim) touch(lk topo.LinkID) {
 	s.capRem[lk] = cap
 	s.nShare[lk] = 0
 	s.demand[lk] = 0
+	s.inc[lk] = s.inc[lk][:0]
+	s.ufParent[lk] = int32(lk)
+	s.compOf[lk] = -1
 	s.touched = append(s.touched, lk)
 }
 
-// scheduleCompletion (re)arms the next completion event.
-func (s *Sim) scheduleCompletion() {
-	if s.completionEv != nil {
-		s.Eng.Cancel(s.completionEv)
-		s.completionEv = nil
+// find returns the union-find root of a touched link, with path halving.
+// Roots are canonical: union always parents the larger root under the
+// smaller, so a component's root is its smallest link ID regardless of
+// union order.
+func (s *Sim) find(l int32) int32 {
+	p := s.ufParent
+	for p[l] != l {
+		p[l] = p[p[l]]
+		l = p[l]
 	}
-	best := -1.0
-	for _, f := range s.active {
-		if f.Rate <= 0 {
-			continue
-		}
-		t := f.Remaining / f.Rate
-		if best < 0 || t < best {
-			best = t
-		}
-	}
-	if best < 0 {
+	return l
+}
+
+// union merges the components of two touched links.
+func (s *Sim) union(a, b topo.LinkID) {
+	ra, rb := s.find(int32(a)), s.find(int32(b))
+	if ra == rb {
 		return
 	}
-	delay := sim.Time(best * float64(sim.Second))
-	s.completionEv = s.Eng.Schedule(delay, s.completionEvent)
+	if ra < rb {
+		s.ufParent[rb] = ra
+	} else {
+		s.ufParent[ra] = rb
+	}
+}
+
+// addComp appends a reset component to the scratch list and returns its
+// index, reusing the flow/link slices of earlier recomputes.
+func (s *Sim) addComp() int {
+	n := len(s.comps)
+	if n < cap(s.comps) {
+		s.comps = s.comps[:n+1]
+	} else {
+		s.comps = append(s.comps, allocComp{})
+	}
+	c := &s.comps[n]
+	c.flows = c.flows[:0]
+	c.links = c.links[:0]
+	c.minT = -1
+	return n
+}
+
+// scheduleCompletion (re)arms the completion event for the earliest
+// projected completion, tracked incrementally during the fill (best < 0
+// means no flow is moving). The persistent Event is moved in place when
+// still pending, so the hot path allocates nothing.
+func (s *Sim) scheduleCompletion(best float64) {
+	if best < 0 {
+		if s.completionEv != nil {
+			s.Eng.Cancel(s.completionEv)
+			s.completionEv = nil
+		}
+		return
+	}
+	at := s.Eng.Now() + sim.Time(best*float64(sim.Second))
+	if s.Eng.Reschedule(s.completionEv, at) {
+		return
+	}
+	s.completionEv = s.Eng.ScheduleAt(at, s.completionEvent)
 }

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"hpn/internal/topo"
+)
+
+// referenceMaxMin is the original progressive-filling allocator, kept as
+// the executable specification of max-min fairness: repeatedly find the
+// most constrained link (smallest headroom per unfrozen flow), freeze its
+// flows at that fair share, subtract their rates everywhere, and continue
+// until every flow is frozen. All links tied at the bottleneck share are
+// frozen together. It rescans every flow x hop on every round — O(rounds *
+// F * P) — which is exactly the cost profile the link-centric allocator in
+// alloc.go replaces; the differential property tests pin the two against
+// each other.
+//
+// Flows that are stalled or pathless are ignored (the live allocator gives
+// them rate 0). The input flows are not mutated; rates are returned
+// parallel to flows, -1 for ignored entries.
+func referenceMaxMin(top *topo.Topology, flows []*Flow) []float64 {
+	rates := make([]float64, len(flows))
+	capRem := map[topo.LinkID]float64{}
+	nShare := map[topo.LinkID]int32{}
+	idx := map[*Flow]int{}
+
+	unfrozen := make([]*Flow, 0, len(flows))
+	for i, f := range flows {
+		rates[i] = -1
+		if f.Stalled || len(f.Path) == 0 {
+			continue
+		}
+		idx[f] = i
+		unfrozen = append(unfrozen, f)
+		for _, lk := range f.Path {
+			if _, ok := capRem[lk]; !ok {
+				cap := top.Link(lk).CapBps
+				if !top.LinkUsable(lk) {
+					cap = 0
+				}
+				capRem[lk] = cap
+			}
+			nShare[lk]++
+		}
+	}
+
+	const eps = 1e-9
+	for len(unfrozen) > 0 {
+		// Find the bottleneck share.
+		min := -1.0
+		for _, f := range unfrozen {
+			for _, lk := range f.Path {
+				if nShare[lk] == 0 {
+					continue
+				}
+				share := capRem[lk] / float64(nShare[lk])
+				if min < 0 || share < min {
+					min = share
+				}
+			}
+		}
+		if min < 0 {
+			break
+		}
+		// Freeze every flow crossing a link at (or below) the bottleneck
+		// share.
+		kept := unfrozen[:0]
+		for _, f := range unfrozen {
+			freeze := false
+			for _, lk := range f.Path {
+				if nShare[lk] == 0 {
+					continue
+				}
+				share := capRem[lk] / float64(nShare[lk])
+				if share <= min*(1+1e-9)+eps {
+					freeze = true
+					break
+				}
+			}
+			if freeze {
+				rates[idx[f]] = min
+				for _, lk := range f.Path {
+					capRem[lk] -= min
+					if capRem[lk] < 0 {
+						capRem[lk] = 0
+					}
+					nShare[lk]--
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == len(unfrozen) {
+			// Defensive: unreachable when the accounting is coherent (the
+			// flow whose link attains min always passes the freeze test),
+			// but never spin. Historically this branch froze flows at min
+			// WITHOUT retiring their shares, which would have corrupted the
+			// remaining capacity and the probe util/demand accounting had
+			// it ever fired; it now freezes with the same consistent
+			// bookkeeping as the normal path.
+			for _, f := range kept {
+				rates[idx[f]] = min
+				for _, lk := range f.Path {
+					capRem[lk] -= min
+					if capRem[lk] < 0 {
+						capRem[lk] = 0
+					}
+					nShare[lk]--
+				}
+			}
+			kept = kept[:0]
+		}
+		unfrozen = kept
+	}
+	return rates
+}

@@ -56,6 +56,11 @@ type Flow struct {
 	// OnComplete, if set, runs when the flow finishes. It may start new
 	// flows.
 	OnComplete func(now sim.Time, f *Flow)
+	// After, if set, runs after OnComplete. The second slot lets a wrapper
+	// layer (rdma connections doing WQE accounting) install one persistent
+	// OnComplete per connection and pass the caller's per-send callback
+	// through unwrapped, instead of allocating a fresh closure per flow.
+	After func(now sim.Time)
 
 	StartedAt sim.Time
 	DoneAt    sim.Time
@@ -105,21 +110,40 @@ type Sim struct {
 	completionEv *sim.Event
 	mutating     int
 
-	// probes indexes probes by link for hot-path lookup; probeList holds
-	// the same probes in registration order. All iteration goes through
-	// probeList so probe series and artifacts never depend on Go map
-	// iteration order (hpnlint:maporder).
-	probes    map[topo.LinkID]*LinkProbe
-	probeList []*LinkProbe
+	// probeByLink indexes probes by link for hot-path lookup (nil = not
+	// probed); probeList holds the same probes in registration order. All
+	// iteration goes through probeList so probe series and artifacts never
+	// depend on Go map iteration order (hpnlint:maporder).
+	probeByLink []*LinkProbe
+	probeList   []*LinkProbe
+
+	// ParallelFill caps the goroutines used to fill independent contention
+	// components during a rate recomputation: 0 (the default) defers to
+	// GOMAXPROCS, 1 forces serial filling. Component fills are
+	// schedule-independent, so the allocation — and every derived artifact
+	// — is byte-identical at any setting; see alloc.go.
+	ParallelFill int
+	// ParallelFillMinFlows is the runnable-flow count below which filling
+	// stays serial regardless of ParallelFill (0 = a built-in default).
+	ParallelFillMinFlows int
 
 	// scratch arrays for the allocator, epoch-stamped to avoid O(links)
-	// clearing on every recompute.
+	// clearing on every recompute; see alloc.go for the roles of the
+	// per-link incidence, union-find and component scratch.
 	capRem   []float64
 	nShare   []int32
 	demand   []float64
 	epoch    []uint32
 	curEpoch uint32
 	touched  []topo.LinkID
+	inc      [][]int32
+	ufParent []int32
+	compOf   []int32
+	unfrozen []*Flow
+	frozen   []bool
+	comps    []allocComp
+	heaps    []linkHeap
+	done     []*Flow // completionEvent harvest scratch
 
 	rerouteScheduled bool
 
@@ -168,11 +192,14 @@ func New(eng *sim.Engine, top *topo.Topology) *Sim {
 		BatchWindow:     10 * sim.Microsecond,
 		PortBufferBytes: 8 << 20,
 		sport:           49152,
-		probes:          map[topo.LinkID]*LinkProbe{},
+		probeByLink:     make([]*LinkProbe, len(top.Links)),
 		capRem:          make([]float64, len(top.Links)),
 		nShare:          make([]int32, len(top.Links)),
 		demand:          make([]float64, len(top.Links)),
 		epoch:           make([]uint32, len(top.Links)),
+		inc:             make([][]int32, len(top.Links)),
+		ufParent:        make([]int32, len(top.Links)),
+		compOf:          make([]int32, len(top.Links)),
 	}
 	return s
 }
@@ -186,6 +213,8 @@ type FlowOpts struct {
 	Sport uint16
 	// OnComplete runs when the flow finishes.
 	OnComplete func(now sim.Time, f *Flow)
+	// After runs after OnComplete; see Flow.After.
+	After func(now sim.Time)
 }
 
 // StartFlow injects a new flow of the given size (bytes) and returns it.
@@ -212,7 +241,7 @@ func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*
 	f := &Flow{
 		ID: s.nextID, Src: src, Dst: dst, Tuple: tuple,
 		Bits: bytes * 8, Remaining: bytes * 8,
-		PinnedPort: -1, OnComplete: opt.OnComplete,
+		PinnedPort: -1, OnComplete: opt.OnComplete, After: opt.After,
 		StartedAt: s.Eng.Now(), index: -1,
 	}
 	s.nextID++
@@ -224,10 +253,15 @@ func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*
 	}
 	f.index = len(s.active)
 	s.active = append(s.active, f)
-	s.instant("flow_start",
-		telemetry.Arg{K: "id", V: f.ID},
-		telemetry.Arg{K: "bytes", V: bytes},
-		telemetry.Arg{K: "stalled", V: f.Stalled})
+	if s.Trace != nil {
+		// Guarded here, not just inside instant: building the Arg list
+		// boxes three values per started flow, a measurable cost on the
+		// tracing-off hot path.
+		s.instant("flow_start",
+			telemetry.Arg{K: "id", V: f.ID},
+			telemetry.Arg{K: "bytes", V: bytes},
+			telemetry.Arg{K: "stalled", V: f.Stalled})
+	}
 	if f.Stalled {
 		s.scheduleReroute(s.R.ConvergenceDelay)
 	}
@@ -285,6 +319,20 @@ func (s *Sim) routeFlow(f *Flow) error {
 	return nil
 }
 
+// Batch runs fn as a single mutation: every StartFlow/AbortFlow (and any
+// nested mutation) inside shares one rate recomputation when fn returns,
+// instead of recomputing per call. Since all the calls land at the same
+// virtual instant, the resulting allocation — and every completion that
+// follows — is identical to the unbatched sequence; only the O(flows x
+// hops) recomputation work per call is saved. Collective rounds, which
+// start hundreds of flows at one instant, are the intended callers. Flows
+// started inside a batch carry Rate 0 until the batch ends.
+func (s *Sim) Batch(fn func()) {
+	s.beginMutate()
+	defer s.endMutate()
+	fn()
+}
+
 // beginMutate/endMutate bracket state changes: time is advanced first so
 // in-flight transfers are accounted at old rates; rates are recomputed once
 // after the outermost mutation completes.
@@ -331,7 +379,10 @@ func (s *Sim) completionEvent() {
 	s.beginMutate()
 	now := s.Eng.Now()
 	window := s.BatchWindow.Seconds()
-	var done []*Flow
+	// The harvest list is Sim scratch, reused across events: completion
+	// batches fire on every communication round, and the per-event
+	// allocation showed up in the bench snapshots.
+	done := s.done[:0]
 	for i := 0; i < len(s.active); {
 		f := s.active[i]
 		if f.Rate > 0 && (f.Remaining <= 0 || f.Remaining/f.Rate <= window) {
@@ -363,7 +414,16 @@ func (s *Sim) completionEvent() {
 		if f.OnComplete != nil {
 			f.OnComplete(now, f)
 		}
+		if f.After != nil {
+			f.After(now)
+		}
 	}
+	// Drop the harvested references before the next event so completed
+	// flows do not outlive their callbacks through the scratch slice.
+	for i := range done {
+		done[i] = nil
+	}
+	s.done = done[:0]
 	s.endMutate()
 }
 

@@ -46,13 +46,13 @@ func (p *LinkProbe) QueueBytes() float64 { return p.queueBytes }
 
 // TrackLink attaches (or returns the existing) probe for a link.
 func (s *Sim) TrackLink(l topo.LinkID, name string) *LinkProbe {
-	if p, ok := s.probes[l]; ok {
+	if p := s.probeByLink[l]; p != nil {
 		return p
 	}
 	p := &LinkProbe{Link: l, Name: name}
 	p.Util.Name = name + "/util"
 	p.Queue.Name = name + "/queue"
-	s.probes[l] = p
+	s.probeByLink[l] = p
 	s.probeList = append(s.probeList, p)
 	return p
 }

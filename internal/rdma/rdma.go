@@ -44,6 +44,19 @@ type Conn struct {
 	wqeBytes float64
 	// SentBytes is the lifetime total dispatched on this connection.
 	SentBytes float64
+
+	// doneFn is the connection's persistent flow-completion handler (WQE
+	// retirement), bound lazily on first Send so posting a message costs no
+	// closure allocation; the caller's callback rides in Flow.After.
+	doneFn func(now sim.Time, f *netsim.Flow)
+}
+
+// flowDone retires a completed flow's WQE bytes.
+func (c *Conn) flowDone(_ sim.Time, f *netsim.Flow) {
+	c.wqeBytes -= f.Bits / 8
+	if c.wqeBytes < 0 {
+		c.wqeBytes = 0
+	}
 }
 
 // Outstanding returns the connection's current WQE byte count.
@@ -184,20 +197,21 @@ func (cs *ConnSet) pick() *Conn {
 // returns.
 func (cs *ConnSet) Send(bytes float64, onComplete func(now sim.Time)) (*netsim.Flow, error) {
 	c := cs.pick()
+	return cs.post(c, bytes, onComplete)
+}
+
+// post dispatches one message on a specific connection.
+func (cs *ConnSet) post(c *Conn, bytes float64, onComplete func(now sim.Time)) (*netsim.Flow, error) {
 	c.wqeBytes += bytes
 	c.SentBytes += bytes
+	if c.doneFn == nil {
+		c.doneFn = c.flowDone
+	}
 	return cs.Net.StartFlow(c.Src, c.Dst, bytes, netsim.FlowOpts{
-		SrcPort: c.Plane,
-		Sport:   c.Sport,
-		OnComplete: func(now sim.Time, f *netsim.Flow) {
-			c.wqeBytes -= bytes
-			if c.wqeBytes < 0 {
-				c.wqeBytes = 0
-			}
-			if onComplete != nil {
-				onComplete(now)
-			}
-		},
+		SrcPort:    c.Plane,
+		Sport:      c.Sport,
+		OnComplete: c.doneFn,
+		After:      onComplete,
 	})
 }
 
@@ -205,21 +219,7 @@ func (cs *ConnSet) Send(bytes float64, onComplete func(now sim.Time)) (*netsim.F
 // baseline ("blind") dispatch used by the sec61b ablation.
 func (cs *ConnSet) SendOn(i int, bytes float64, onComplete func(now sim.Time)) (*netsim.Flow, error) {
 	c := cs.Conns[i%len(cs.Conns)]
-	c.wqeBytes += bytes
-	c.SentBytes += bytes
-	return cs.Net.StartFlow(c.Src, c.Dst, bytes, netsim.FlowOpts{
-		SrcPort: c.Plane,
-		Sport:   c.Sport,
-		OnComplete: func(now sim.Time, f *netsim.Flow) {
-			c.wqeBytes -= bytes
-			if c.wqeBytes < 0 {
-				c.wqeBytes = 0
-			}
-			if onComplete != nil {
-				onComplete(now)
-			}
-		},
-	})
+	return cs.post(c, bytes, onComplete)
 }
 
 // Outstanding sums WQE bytes across the set.

@@ -258,6 +258,9 @@ func (r *Router) PathObserved(src, dst Endpoint, srcPort int, tuple hashing.Five
 	if !t.LinkUsable(access) {
 		return nil, false, fmt.Errorf("route: source access port %d down", srcPort)
 	}
+	// Host->ToR->Agg->Core->Agg->ToR->host is 6 hops; 8 covers every
+	// valley-free walk without regrowing mid-path.
+	path = make([]topo.LinkID, 0, 8)
 	path = append(path, access)
 	if obs != nil {
 		obs(HopDecision{Link: access, Node: topo.None})
@@ -391,18 +394,34 @@ func (r *Router) ecmpGroup(node topo.NodeID, dst Endpoint, now sim.Time) ([]topo
 	return nil, false
 }
 
+// filterGroup drops withdrawn members. The common case — every member
+// still advertised — returns the input slice unallocated; callers only
+// index the group, never mutate it, so aliasing the adjacency is safe.
 func (r *Router) filterGroup(links []topo.LinkID, now sim.Time) []topo.LinkID {
-	out := make([]topo.LinkID, 0, len(links))
-	for _, l := range links {
-		if r.inGroup(l, now) {
-			out = append(out, l)
+	for i, l := range links {
+		if !r.inGroup(l, now) {
+			out := make([]topo.LinkID, i, len(links))
+			copy(out, links[:i])
+			for _, l := range links[i+1:] {
+				if r.inGroup(l, now) {
+					out = append(out, l)
+				}
+			}
+			return out
 		}
 	}
-	return out
+	return links
 }
 
+// sortLinks is an insertion sort: groups are small (tens of members at
+// most) and sort.Slice's reflection-based swapper allocates on every call
+// in the path-walk hot loop.
 func sortLinks(ls []topo.LinkID) {
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
 }
 
 // GroupSizeAtToR returns the ECMP fan-out a host faces at its ToR — the

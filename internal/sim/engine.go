@@ -153,6 +153,27 @@ func (e *Engine) schedule(at Time, fn func(), daemon bool) *Event {
 	return ev
 }
 
+// Reschedule moves a still-pending event to the absolute virtual time at
+// and reports whether it did. A nil, fired or canceled event returns false
+// (the caller schedules a fresh one). The event keeps its callback but is
+// re-sequenced, so FIFO ordering among same-instant events matches a
+// Cancel+Schedule pair exactly — reusing the Event only saves the
+// allocation. Hot reschedulers (the flow-completion timer re-armed on every
+// rate recomputation) depend on this.
+func (e *Engine) Reschedule(ev *Event, at Time) bool {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	ev.at = at
+	e.seq++
+	ev.seq = e.seq
+	heap.Fix(&e.events, ev.index)
+	return true
+}
+
 // Cancel removes a scheduled event. Canceling a fired or already-canceled
 // event is a no-op.
 func (e *Engine) Cancel(ev *Event) {

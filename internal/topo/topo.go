@@ -140,6 +140,10 @@ type Topology struct {
 	coreIndex map[int][]NodeID
 	// attachedHost maps ToR -> set of (host, nic) reachable by a downlink.
 	hostOfLink map[LinkID]HostPort
+
+	// usable caches LinkUsable per link (link up AND both endpoint nodes
+	// up), maintained by connect and the Set*State mutators.
+	usable []bool
 }
 
 // HostPort names one NIC port of one host.
@@ -200,6 +204,7 @@ func (t *Topology) connect(portCounts map[NodeID]int, lo, hi NodeID, capBps floa
 		CapBps: capBps, FromPort: hiPort, ToPort: loPort, Plane: plane, Up: true,
 	}
 	t.Links = append(t.Links, down)
+	t.usable = append(t.usable, true, true)
 	up.Reverse = down.ID
 	down.Reverse = up.ID
 
@@ -255,23 +260,52 @@ func (t *Topology) TotalGPUs(activeOnly bool) int {
 
 // SetLinkState marks one direction of a link (and typically its reverse,
 // via SetCableState) up or down.
-func (t *Topology) SetLinkState(id LinkID, up bool) { t.Links[id].Up = up }
+func (t *Topology) SetLinkState(id LinkID, up bool) {
+	t.Links[id].Up = up
+	t.refreshUsable(id)
+}
 
 // SetCableState sets both directions of a cable.
 func (t *Topology) SetCableState(id LinkID, up bool) {
 	t.Links[id].Up = up
 	t.Links[t.Links[id].Reverse].Up = up
+	t.refreshUsable(id)
+	t.refreshUsable(t.Links[id].Reverse)
 }
 
 // SetNodeState marks a node (and implicitly all its links) up or down.
 // Links keep their own state; routing treats a link as usable only when the
 // link and both endpoints are up.
-func (t *Topology) SetNodeState(id NodeID, up bool) { t.Nodes[id].Up = up }
+func (t *Topology) SetNodeState(id NodeID, up bool) {
+	t.Nodes[id].Up = up
+	// A node flip changes the usability of every link touching it; node
+	// events are rare (failure injection), so a full refresh is fine.
+	for _, l := range t.Links {
+		t.refreshUsable(l.ID)
+	}
+}
 
-// LinkUsable reports whether a link can carry traffic: link up, both ends up.
+// LinkUsable reports whether a link can carry traffic: link up, both ends
+// up. It is the allocator's and router's innermost predicate, so the
+// three-way state is cached per link in a flat array maintained by the
+// Set*State mutators; chasing the Link and two Node pointers on every call
+// showed up in profiles.
 func (t *Topology) LinkUsable(id LinkID) bool {
+	if int(id) < len(t.usable) {
+		return t.usable[id]
+	}
 	l := t.Links[id]
 	return l.Up && t.Nodes[l.From].Up && t.Nodes[l.To].Up
+}
+
+// refreshUsable recomputes the cached usability of one link, growing the
+// cache to cover the topology on first use.
+func (t *Topology) refreshUsable(id LinkID) {
+	for len(t.usable) < len(t.Links) {
+		t.usable = append(t.usable, true)
+	}
+	l := t.Links[id]
+	t.usable[id] = l.Up && t.Nodes[l.From].Up && t.Nodes[l.To].Up
 }
 
 // Counts summarizes the inventory, for the topology inspector and tests.
