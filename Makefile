@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: ci fmt vet lint build test test-parallel bench bench-smoke
+# bench-compare regression budget: flows/sec on this machine may fall this
+# fraction below the committed snapshot before the target fails. Generous by
+# default because committed baselines come from other hardware; tighten via
+# `make bench-compare BENCH_COMPARE_TOLERANCE=0.1` when comparing like for
+# like.
+BENCH_COMPARE_TOLERANCE ?= 0.5
+
+.PHONY: ci fmt vet lint build test test-parallel bench bench-smoke bench-compare
 
 # Full gate: formatting, go vet, build, hpnlint determinism/invariant rules,
-# tests under the race detector (serial and parallel-allocator passes), and
-# the bench/forensics smoke run.
-ci: fmt vet build lint test test-parallel bench-smoke
+# tests under the race detector (serial and parallel-allocator passes), the
+# bench/forensics smoke run, and the perf comparison against the last
+# committed snapshot.
+ci: fmt vet build lint test test-parallel bench-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -54,3 +62,18 @@ bench-smoke:
 	   $$tmp/forensics/imbalance.tsv $$tmp/forensics/polarization.tsv >/dev/null; \
 	rm -rf $$tmp; \
 	echo "bench-smoke: OK"
+
+# Perf regression gate: take a fresh quick fig13 snapshot and compare it
+# against the newest committed bench/BENCH_*.json with hpnbench's own
+# comparator (flags must precede the positional snapshot paths). Exits
+# nonzero when flows/sec drops by more than BENCH_COMPARE_TOLERANCE.
+bench-compare:
+	@tmp=$$(mktemp -d); \
+	set -e; \
+	base=$$(ls bench/BENCH_*.json | sort | tail -1); \
+	echo "bench-compare: baseline $$base"; \
+	$(GO) run ./cmd/hpnbench -exp fig13 -scale quick -benchout $$tmp >/dev/null; \
+	fresh=$$(ls $$tmp/BENCH_*.json); \
+	$(GO) run ./cmd/hpnbench -compare -tolerance $(BENCH_COMPARE_TOLERANCE) $$base $$fresh; \
+	rm -rf $$tmp; \
+	echo "bench-compare: OK"

@@ -35,6 +35,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON covering every cluster built (one trace process each)")
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 		inbandTo = flag.String("inband", "", "enable in-band path telemetry on every cluster; write the per-hop inband.tsv/json (and other registry artifacts) into this directory after the sweep")
+		healthTo = flag.String("health", "", "enable online fabric health monitoring on every cluster; write the incidents.tsv/json causal timelines (render with hpndoctor) into this directory after the sweep")
 		benchOut = flag.String("benchout", "", "write a BENCH_<stamp>.json perf snapshot (scenario, ns/op, allocs, flows/sec) into this directory")
 		compare  = flag.Bool("compare", false, "compare two BENCH snapshots: hpnbench -compare old.json new.json")
 		tol      = flag.Float64("tolerance", 0.10, "with -compare: flows/sec may drop by this fraction before a scenario counts as regressed")
@@ -65,15 +66,16 @@ func main() {
 	}
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *benchOut != "" {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || *benchOut != "" {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
 		opt.Inband = *inbandTo != ""
+		opt.Health = *healthTo != ""
 		// Experiments build many clusters; bound the trace and the in-band
 		// stream so a full sweep cannot exhaust memory.
 		opt.MaxTraceEvents = 2_000_000
 		opt.InbandMax = 2_000_000
-		if *traceOut == "" && *promOut == "" && *inbandTo == "" {
+		if *traceOut == "" && *promOut == "" && *inbandTo == "" && *healthTo == "" {
 			// -benchout alone: counters only, no sampler daemons perturbing
 			// the measured runs.
 			opt.SampleInterval = 0
@@ -179,15 +181,18 @@ func main() {
 				fmt.Printf("wrote %s\n", *promOut)
 			}
 		}
-		if *inbandTo != "" {
-			paths, err := hub.WriteArtifacts(*inbandTo)
+		for _, dir := range artifactDirs(*inbandTo, *healthTo) {
+			paths, err := hub.WriteArtifacts(dir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "hpnbench: inband: %v\n", err)
+				fmt.Fprintf(os.Stderr, "hpnbench: artifacts: %v\n", err)
 				failed++
 			}
 			for _, p := range paths {
 				fmt.Printf("wrote %s\n", p)
 			}
+		}
+		if dropped := metricSum(hub, "netsim_inband_dropped_records"); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "hpnbench: warning: in-band collectors dropped %.0f per-hop records (cap reached); inband.tsv under-reports — raise InbandMax\n", dropped)
 		}
 	}
 	if failed > 0 {
@@ -221,6 +226,12 @@ type benchSnapshot struct {
 // hub registry (one per attached cluster, prefixed c2_, c3_, ... past the
 // first). Returns 0 without a hub.
 func flowsCompleted(hub *hpn.TelemetryHub) float64 {
+	return metricSum(hub, "netsim_flows_completed_total")
+}
+
+// metricSum sums every registry metric whose name ends in suffix across
+// all attached clusters. Returns 0 without a hub.
+func metricSum(hub *hpn.TelemetryHub, suffix string) float64 {
 	if hub == nil {
 		return 0
 	}
@@ -234,11 +245,33 @@ func flowsCompleted(hub *hpn.TelemetryHub) float64 {
 	}
 	var total float64
 	for name, v := range metrics {
-		if strings.HasSuffix(name, "netsim_flows_completed_total") {
+		if strings.HasSuffix(name, suffix) {
 			total += v
 		}
 	}
 	return total
+}
+
+// artifactDirs deduplicates the artifact output directories (both -inband
+// and -health dump the full registry artifact set).
+func artifactDirs(dirs ...string) []string {
+	var out []string
+	for _, d := range dirs {
+		if d == "" {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // mallocs reads the process-lifetime heap allocation count.

@@ -28,14 +28,16 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 		inbandTo = flag.String("inband", "", "enable in-band path telemetry and write run artifacts (per-hop inband.tsv/json, flow log, samples) into this directory")
+		healthTo = flag.String("health", "", "enable online fabric health monitoring and write run artifacts (incidents.tsv/json causal timeline; render with hpndoctor) into this directory")
 	)
 	flag.Parse()
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" || *inbandTo != "" {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
 		opt.Inband = *inbandTo != ""
+		opt.Health = *healthTo != ""
 		hub = hpn.EnableDefaultTelemetry(opt)
 	}
 
@@ -111,6 +113,13 @@ func main() {
 	}
 	fmt.Printf("mean samples/s: %.1f\n", tr.MeanSamplesPerSecond())
 
+	if m := hpn.HealthMonitorOf(c); m != nil {
+		fmt.Printf("health: %s\n", m.Summary().Verdict())
+	}
+	if ib := c.Net.Inband(); ib != nil && ib.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "hpnsim: warning: in-band collector dropped %d per-hop records (cap reached); inband.tsv under-reports — raise InbandMax\n", ib.Dropped())
+	}
+
 	if hub != nil {
 		if *traceOut != "" {
 			if err := writeFile(*traceOut, func(f *os.File) error {
@@ -129,8 +138,8 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *promOut)
 		}
-		if *inbandTo != "" {
-			paths, err := hub.WriteArtifacts(*inbandTo)
+		for _, dir := range artifactDirs(*inbandTo, *healthTo) {
+			paths, err := hub.WriteArtifacts(dir)
 			if err != nil {
 				fail(err)
 			}
@@ -139,6 +148,28 @@ func main() {
 			}
 		}
 	}
+}
+
+// artifactDirs deduplicates the artifact output directories (both -inband
+// and -health dump the full registry artifact set).
+func artifactDirs(dirs ...string) []string {
+	var out []string
+	for _, d := range dirs {
+		if d == "" {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func writeFile(path string, write func(*os.File) error) error {

@@ -2,24 +2,34 @@ package hpn
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
 	"hpn/internal/sim"
 )
 
+// goldenArtifactNames lists the artifacts the determinism contract covers,
+// in comparison order.
+var goldenArtifactNames = []string{
+	"flowlog.tsv", "trace.json", "inband.tsv", "inband.json",
+	"incidents.tsv", "incidents.json",
+}
+
 // goldenArtifacts runs one fully instrumented training simulation — small
-// HPN cluster, telemetry hub attached, flow log and in-band path telemetry
-// on, a cable failure injected mid-run — and returns the serialized
-// artifacts whose bytes the determinism contract covers: the flow-log TSV,
-// the Chrome trace JSON, and the in-band per-hop TSV and JSON. Everything
-// that could perturb the output (placement, collective schedules,
-// retransmits after the failure, telemetry emission order, path-epoch
-// flushes on reroute) is exercised on purpose.
-func goldenArtifacts(t *testing.T, tune ...func(c *Cluster)) (flowlog, trace, ibTSV, ibJSON []byte) {
+// HPN cluster, telemetry hub attached, flow log, in-band path telemetry
+// and the online health monitor on, a cable failure injected mid-run — and
+// returns the serialized artifacts whose bytes the determinism contract
+// covers: the flow-log TSV, the Chrome trace JSON, the in-band per-hop
+// TSV/JSON, and the health monitor's incidents TSV/JSON. Everything that
+// could perturb the output (placement, collective schedules, retransmits
+// after the failure, telemetry emission order, path-epoch flushes on
+// reroute, detector sweeps) is exercised on purpose.
+func goldenArtifacts(t *testing.T, tune ...func(c *Cluster)) map[string][]byte {
 	t.Helper()
 	opt := DefaultTelemetryOptions()
 	opt.Inband = true
+	opt.Health = true
 	hub := NewTelemetryHub(opt)
 	c, err := NewHPN(SmallHPN(1, 8, 8))
 	if err != nil {
@@ -56,20 +66,26 @@ func goldenArtifacts(t *testing.T, tune ...func(c *Cluster)) (flowlog, trace, ib
 		t.Fatalf("completed %d iterations, want 2", tr.Iterations)
 	}
 
-	var fb, tb, ib, ij bytes.Buffer
-	if err := c.Net.WriteFlowLog(&fb); err != nil {
-		t.Fatal(err)
+	m := HealthMonitorOf(c)
+	if m == nil {
+		t.Fatal("health monitor not attached despite Options.Health")
 	}
-	if _, err := hub.Tracer.WriteTo(&tb); err != nil {
-		t.Fatal(err)
+
+	out := map[string][]byte{}
+	capture := func(name string, write func(w io.Writer) error) {
+		var b bytes.Buffer
+		if err := write(&b); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = b.Bytes()
 	}
-	if err := c.Net.Inband().WriteTSV(&ib); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Net.Inband().WriteJSON(&ij); err != nil {
-		t.Fatal(err)
-	}
-	return fb.Bytes(), tb.Bytes(), ib.Bytes(), ij.Bytes()
+	capture("flowlog.tsv", c.Net.WriteFlowLog)
+	capture("trace.json", func(w io.Writer) error { _, err := hub.Tracer.WriteTo(w); return err })
+	capture("inband.tsv", c.Net.Inband().WriteTSV)
+	capture("inband.json", c.Net.Inband().WriteJSON)
+	capture("incidents.tsv", m.WriteTSV)
+	capture("incidents.json", m.WriteJSON)
+	return out
 }
 
 // firstDivergence returns the first line number (1-based) where a and b
@@ -102,39 +118,32 @@ func firstDivergence(a, b []byte) (line int, la, lb string) {
 
 // TestGoldenDeterminism is the repo's determinism gate: two runs with the
 // same seed and full telemetry must produce byte-identical flow-log TSV,
-// trace JSON, and in-band per-hop TSV/JSON. A failure prints the first
-// divergent line of the offending artifact, which almost always
-// fingerprints the culprit (a map iteration, a wall-clock read, a global
-// RNG draw) directly.
+// trace JSON, in-band per-hop TSV/JSON, and health incidents TSV/JSON. A
+// failure prints the first divergent line of the offending artifact, which
+// almost always fingerprints the culprit (a map iteration, a wall-clock
+// read, a global RNG draw) directly.
 func TestGoldenDeterminism(t *testing.T) {
-	flow1, trace1, ib1, ij1 := goldenArtifacts(t)
-	flow2, trace2, ib2, ij2 := goldenArtifacts(t)
+	run1 := goldenArtifacts(t)
+	run2 := goldenArtifacts(t)
 
-	if len(flow1) == 0 || bytes.Count(flow1, []byte("\n")) < 2 {
+	if flow := run1["flowlog.tsv"]; len(flow) == 0 || bytes.Count(flow, []byte("\n")) < 2 {
 		t.Fatal("flow log is empty; the run recorded no flows")
 	}
-	if len(trace1) == 0 {
+	if len(run1["trace.json"]) == 0 {
 		t.Fatal("trace is empty; the run emitted no events")
 	}
-	if bytes.Count(ib1, []byte("\n")) < 2 {
+	if bytes.Count(run1["inband.tsv"], []byte("\n")) < 2 {
 		t.Fatal("in-band TSV is empty; the run recorded no per-hop telemetry")
 	}
+	if bytes.Count(run1["incidents.tsv"], []byte("\n")) < 2 {
+		t.Fatal("incidents TSV has no rows; the health monitor recorded nothing")
+	}
 
-	if line, a, b := firstDivergence(flow1, flow2); line != 0 {
-		t.Errorf("flow-log TSV diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
-			line, a, b)
-	}
-	if line, a, b := firstDivergence(trace1, trace2); line != 0 {
-		t.Errorf("trace JSON diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
-			line, a, b)
-	}
-	if line, a, b := firstDivergence(ib1, ib2); line != 0 {
-		t.Errorf("in-band TSV diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
-			line, a, b)
-	}
-	if line, a, b := firstDivergence(ij1, ij2); line != 0 {
-		t.Errorf("in-band JSON diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
-			line, a, b)
+	for _, name := range goldenArtifactNames {
+		if line, a, b := firstDivergence(run1[name], run2[name]); line != 0 {
+			t.Errorf("%s diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
+				name, line, a, b)
+		}
 	}
 }
 
@@ -144,27 +153,17 @@ func TestGoldenDeterminism(t *testing.T) {
 // parallelize) must produce the same bytes as the serial run. Component
 // fills are schedule-independent by construction (alloc.go); this pins it.
 func TestGoldenDeterminismParallelFill(t *testing.T) {
-	flow1, trace1, ib1, ij1 := goldenArtifacts(t)
-	flow2, trace2, ib2, ij2 := goldenArtifacts(t, func(c *Cluster) {
+	serial := goldenArtifacts(t)
+	par := goldenArtifacts(t, func(c *Cluster) {
 		c.Net.ParallelFill = 4
 		c.Net.ParallelFillMinFlows = 1
 	})
 
-	if line, a, b := firstDivergence(flow1, flow2); line != 0 {
-		t.Errorf("flow-log TSV diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
-			line, a, b)
-	}
-	if line, a, b := firstDivergence(trace1, trace2); line != 0 {
-		t.Errorf("trace JSON diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
-			line, a, b)
-	}
-	if line, a, b := firstDivergence(ib1, ib2); line != 0 {
-		t.Errorf("in-band TSV diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
-			line, a, b)
-	}
-	if line, a, b := firstDivergence(ij1, ij2); line != 0 {
-		t.Errorf("in-band JSON diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
-			line, a, b)
+	for _, name := range goldenArtifactNames {
+		if line, a, b := firstDivergence(serial[name], par[name]); line != 0 {
+			t.Errorf("%s diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
+				name, line, a, b)
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package hpn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hpn/internal/failure"
+	"hpn/internal/health"
+	"hpn/internal/sim"
+)
+
+// healthTrainingRun builds a cluster with the online health monitor
+// attached, trains `iters` iterations of LLaMa13B over 8 hosts, and lets
+// the caller inject faults once the healthy baseline exists (afterIter2
+// fires from the iteration-2 callback). Returns the monitor for verdicts.
+func healthTrainingRun(t *testing.T, cfg HPNConfig, iters int, afterIter2 func(c *Cluster, now sim.Time)) (*Cluster, *HealthMonitor) {
+	t.Helper()
+	opt := DefaultTelemetryOptions()
+	opt.Trace = false
+	opt.SampleInterval = 0
+	opt.Health = true
+	hub := NewTelemetryHub(opt)
+	c, err := NewHPN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableTelemetry(hub)
+
+	hosts, err := c.PlaceJob(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(LLaMa13B, Parallelism{TP: 8, PP: 1, DP: 8}, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewTrainer installed the monitor's attribution hook; chain after it.
+	if afterIter2 != nil {
+		prev := tr.OnIteration
+		tr.OnIteration = func(iter int, now sim.Time) {
+			if prev != nil {
+				prev(iter, now)
+			}
+			if iter == 2 {
+				afterIter2(c, now)
+			}
+		}
+	}
+	if err := tr.Start(iters); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	if tr.Iterations != iters {
+		t.Fatalf("completed %d iterations, want %d", tr.Iterations, iters)
+	}
+	m := HealthMonitorOf(c)
+	if m == nil {
+		t.Fatal("health monitor not attached despite Options.Health")
+	}
+	return c, m
+}
+
+// A Fig. 18 flap storm on a single-ToR access cable mid-training: the
+// monitor must open a flap-storm incident, attribute the comm-time
+// regression of the overlapping iterations to it, and map the timeline to
+// hpndoctor's incident exit code. The artifact must survive a TSV
+// round-trip bit-exactly — that is the hpndoctor input path.
+func TestHealthE2EFlapStorm(t *testing.T) {
+	cfg := SmallHPN(1, 8, 8)
+	cfg.DualToR = false
+	cfg.DualPlane = false
+	_, m := healthTrainingRun(t, cfg, 6, func(c *Cluster, now sim.Time) {
+		in := &failure.Injector{Net: c.Net}
+		// 3 down/up cycles = 6 transitions inside the 10s flap window;
+		// each ~600ms outage (400ms down + 200ms recovery reroute) stalls
+		// the rail and inflates the iteration's gradient-sync time.
+		in.FlapLinkAt(now+10*sim.Millisecond, c.Topo.AccessLink(0, 0, 0),
+			400*sim.Millisecond, 200*sim.Millisecond, 3)
+	})
+
+	s := m.Summary()
+	if s.Flap == 0 {
+		t.Fatalf("flap storm produced no flap-storm incident; summary %+v, incidents %+v",
+			s, m.Incidents())
+	}
+	if s.ExitCode() != health.ExitIncidents {
+		t.Fatalf("exit code %d, want %d (incidents); verdict %q",
+			s.ExitCode(), health.ExitIncidents, s.Verdict())
+	}
+	if s.Regressed == 0 {
+		t.Fatalf("no iteration marked regressed despite the storm; iterations %+v", m.Iterations())
+	}
+	if s.Attributed == 0 {
+		t.Fatalf("regressed iterations have no incident attributed; iterations %+v, incidents %+v",
+			m.Iterations(), m.Incidents())
+	}
+
+	// The TSV artifact is hpndoctor's input: parsing what the monitor wrote
+	// must reconstruct the exact incident and iteration lists.
+	var buf bytes.Buffer
+	if err := m.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	incs, iters, err := health.ParseTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(incs, m.Incidents()) {
+		t.Fatalf("incidents did not survive the TSV round-trip:\nwrote:  %+v\nparsed: %+v",
+			m.Incidents(), incs)
+	}
+	if !reflect.DeepEqual(iters, m.Iterations()) {
+		t.Fatalf("iterations did not survive the TSV round-trip:\nwrote:  %+v\nparsed: %+v",
+			m.Iterations(), iters)
+	}
+	if got := health.Summarize(incs, iters); got != s {
+		t.Fatalf("summary from parsed timeline %+v != live summary %+v", got, s)
+	}
+}
+
+// A quiet dual-ToR dual-plane run must stay verdict-clean: no incident,
+// no regressed iteration, exit code 0. This pins the detectors' false
+// positive rate at zero on the healthy path — the contract that makes a
+// nonzero hpndoctor exit in CI meaningful.
+func TestHealthE2EQuietRun(t *testing.T) {
+	_, m := healthTrainingRun(t, SmallHPN(1, 8, 8), 4, nil)
+	s := m.Summary()
+	if s.Incidents != 0 {
+		t.Fatalf("quiet run produced %d incidents: %+v", s.Incidents, m.Incidents())
+	}
+	if s.Regressed != 0 {
+		t.Fatalf("quiet run marked %d iterations regressed: %+v", s.Regressed, m.Iterations())
+	}
+	if s.ExitCode() != health.ExitHealthy {
+		t.Fatalf("exit code %d, want 0; verdict %q", s.ExitCode(), s.Verdict())
+	}
+	if s.Iterations != 4 {
+		t.Fatalf("attribution saw %d iterations, want 4", s.Iterations)
+	}
+}

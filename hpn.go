@@ -3,6 +3,7 @@ package hpn
 import (
 	"hpn/internal/collective"
 	"hpn/internal/core"
+	"hpn/internal/health"
 	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 	"hpn/internal/workload"
@@ -95,10 +96,32 @@ func NewJob(m ModelSpec, p Parallelism, hosts []int) (*Job, error) {
 }
 
 // NewTrainer builds a trainer for the job on the cluster, using the
-// cluster's native collective configuration.
+// cluster's native collective configuration. If the cluster carries the
+// online health monitor (TelemetryOptions.Health), the trainer is watched
+// for per-iteration incident attribution automatically.
 func NewTrainer(c *Cluster, job *Job) (*Trainer, error) {
-	return workload.NewTrainer(c.Net, job, c.CollectiveConfig())
+	tr, err := workload.NewTrainer(c.Net, job, c.CollectiveConfig())
+	if err != nil {
+		return nil, err
+	}
+	if m := health.MonitorOf(c.Net); m != nil {
+		m.WatchTrainer(tr)
+	}
+	return tr, nil
 }
+
+// Health-monitoring surface.
+
+// HealthMonitor is the online fabric health monitor attached under
+// TelemetryOptions.Health: streaming flap/stall/polarization/throughput
+// detectors plus per-iteration root-cause attribution.
+type HealthMonitor = health.Monitor
+
+// HealthSummary aggregates a monitor's timeline into the hpndoctor verdict.
+type HealthSummary = health.Summary
+
+// HealthMonitorOf returns the cluster's attached health monitor, or nil.
+func HealthMonitorOf(c *Cluster) *HealthMonitor { return health.MonitorOf(c.Net) }
 
 // Telemetry surface.
 

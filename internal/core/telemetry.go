@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hpn/internal/health"
 	"hpn/internal/sim"
 	"hpn/internal/telemetry"
 	"hpn/internal/topo"
@@ -40,6 +41,9 @@ func (c *Cluster) EnableTelemetry(h *telemetry.Hub) {
 	c.Net.R.Tracer = tr
 	if h.Opt.Inband {
 		c.Net.EnableInband(h.Opt.InbandMax)
+	}
+	if h.Opt.Health {
+		health.Attach(c.Net, health.DefaultConfig())
 	}
 	if smp == nil {
 		return

@@ -110,6 +110,35 @@ func TestWatchdogRecoveryVsCrash(t *testing.T) {
 	}
 }
 
+// Flapping that resolves via reroute just before the timeout must never
+// crash the watchdog's job: each down-dwell ends (recovery + 200ms reroute
+// unsticks the flow) with seconds to spare before the 90s NCCL timeout,
+// and the stall clock must restart at the next dwell instead of
+// accumulating across the up-gaps.
+func TestWatchdogFlapResolvesBeforeTimeout(t *testing.T) {
+	for _, dualToR := range []bool{false, true} {
+		eng, _, net := newNet(t, dualToR)
+		in := &Injector{Net: net}
+		src, dst := route.Endpoint{Host: 0, NIC: 0}, route.Endpoint{Host: 4, NIC: 0}
+		f, err := net.StartFlow(src, dst, 1<<41, netsim.FlowOpts{SrcPort: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two 85s outages separated by a 5s healthy gap: each stall runs to
+		// within ~5s of the 90s timeout before the recovery reroute clears
+		// it. Under dual-ToR the 1s-convergence reroute resolves the stall
+		// via the peer ToR far earlier; both must survive.
+		in.FlapLinkAt(10*sim.Second, f.Path[0], 85*sim.Second, 5*sim.Second, 2)
+		w := NewWatchdog(net)
+		w.Watch(10 * sim.Minute)
+		eng.RunUntil(10 * sim.Minute)
+		if crashed, at := w.Crashed(); crashed {
+			t.Fatalf("dualToR=%v: watchdog crashed at %v on flaps that resolve before the timeout",
+				dualToR, at)
+		}
+	}
+}
+
 // Under dual-ToR the same failure never stalls flows long enough to crash.
 func TestWatchdogDualToRSurvives(t *testing.T) {
 	eng, _, net := newNet(t, true)

@@ -1,0 +1,341 @@
+package health
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpn/internal/sim"
+)
+
+// The merged timeline TSV: incidents and iteration reports share one
+// chronologically sorted table, distinguished by the row column. Unused
+// fields carry "-" (strings), -1 (ints) or 0 (floats).
+const tsvHeader = "row\tid\tkind\tsubject\tstart_ns\tend_ns\topen\tevents\tpeak\tdetail\titer\tcomm_s\tbaseline_s\tdelta_frac\tregressed\treroutes\tcauses"
+
+// timelineRows merges incidents and iterations into presentation order:
+// by start time, incidents before iterations at the same instant, then by
+// ID / iteration number.
+type timelineRow struct {
+	start sim.Time
+	inc   *Incident // exactly one of inc/iter is set
+	iter  *IterationReport
+}
+
+func (m *Monitor) timeline() []timelineRow {
+	return mergeTimeline(m.incidents, m.iters)
+}
+
+func mergeTimeline(incs []Incident, iters []IterationReport) []timelineRow {
+	rows := make([]timelineRow, 0, len(incs)+len(iters))
+	for i := range incs {
+		rows = append(rows, timelineRow{start: incs[i].Start, inc: &incs[i]})
+	}
+	for i := range iters {
+		rows = append(rows, timelineRow{start: iters[i].Start, iter: &iters[i]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].start != rows[j].start {
+			return rows[i].start < rows[j].start
+		}
+		ri, rj := rows[i], rows[j]
+		if (ri.inc != nil) != (rj.inc != nil) {
+			return ri.inc != nil
+		}
+		if ri.inc != nil {
+			return ri.inc.ID < rj.inc.ID
+		}
+		return ri.iter.Iter < rj.iter.Iter
+	})
+	return rows
+}
+
+// WriteTSV renders the merged incident + iteration timeline. Deterministic:
+// same-seed runs produce byte-identical output.
+func (m *Monitor) WriteTSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(tsvHeader)
+	b.WriteByte('\n')
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range m.timeline() {
+		if inc := row.inc; inc != nil {
+			end := int64(inc.End)
+			if inc.Open {
+				end = -1
+			}
+			fmt.Fprintf(&b, "incident\t%d\t%s\t%s\t%d\t%d\t%t\t%d\t%s\t%s\t-1\t0\t0\t0\tfalse\t-1\t-\n",
+				inc.ID, inc.Kind, inc.Subject, int64(inc.Start), end, inc.Open,
+				inc.Events, g(inc.Peak), inc.Detail)
+			continue
+		}
+		it := row.iter
+		fmt.Fprintf(&b, "iteration\t-1\t-\t-\t%d\t%d\tfalse\t-1\t0\t-\t%d\t%s\t%s\t%s\t%t\t%d\t%s\n",
+			int64(it.Start), int64(it.End), it.Iter, g(it.CommS), g(it.BaselineS),
+			g(it.DeltaFrac), it.Regressed, it.Reroutes, causesString(it.Causes))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ParseTSV reads a timeline written by WriteTSV back into incidents (by ID
+// order) and iteration reports (by iteration order) — the hpndoctor input
+// path.
+func ParseTSV(r io.Reader) ([]Incident, []IterationReport, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var incs []Incident
+	var iters []IterationReport
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if line != tsvHeader {
+				return nil, nil, fmt.Errorf("health: unrecognized timeline header %q", line)
+			}
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 17 {
+			return nil, nil, fmt.Errorf("health: timeline row has %d fields, want 17", len(f))
+		}
+		switch f[0] {
+		case "incident":
+			var inc Incident
+			var start, end int64
+			var err error
+			if inc.ID, err = strconv.Atoi(f[1]); err != nil {
+				return nil, nil, fmt.Errorf("health: bad incident id %q", f[1])
+			}
+			inc.Kind, inc.Subject, inc.Detail = f[2], f[3], f[9]
+			if start, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad start %q", f[4])
+			}
+			if end, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad end %q", f[5])
+			}
+			inc.Start, inc.End = sim.Time(start), sim.Time(end)
+			inc.Open = f[6] == "true"
+			if inc.Open {
+				inc.End = 0
+			}
+			if inc.Events, err = strconv.Atoi(f[7]); err != nil {
+				return nil, nil, fmt.Errorf("health: bad events %q", f[7])
+			}
+			if inc.Peak, err = strconv.ParseFloat(f[8], 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad peak %q", f[8])
+			}
+			incs = append(incs, inc)
+		case "iteration":
+			var it IterationReport
+			var start, end int64
+			var err error
+			if start, err = strconv.ParseInt(f[4], 10, 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad start %q", f[4])
+			}
+			if end, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad end %q", f[5])
+			}
+			it.Start, it.End = sim.Time(start), sim.Time(end)
+			if it.Iter, err = strconv.Atoi(f[10]); err != nil {
+				return nil, nil, fmt.Errorf("health: bad iter %q", f[10])
+			}
+			if it.CommS, err = strconv.ParseFloat(f[11], 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad comm_s %q", f[11])
+			}
+			if it.BaselineS, err = strconv.ParseFloat(f[12], 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad baseline_s %q", f[12])
+			}
+			if it.DeltaFrac, err = strconv.ParseFloat(f[13], 64); err != nil {
+				return nil, nil, fmt.Errorf("health: bad delta_frac %q", f[13])
+			}
+			it.Regressed = f[14] == "true"
+			if it.Reroutes, err = strconv.Atoi(f[15]); err != nil {
+				return nil, nil, fmt.Errorf("health: bad reroutes %q", f[15])
+			}
+			if it.Causes, err = parseCauses(f[16]); err != nil {
+				return nil, nil, err
+			}
+			iters = append(iters, it)
+		default:
+			return nil, nil, fmt.Errorf("health: unknown timeline row kind %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(incs, func(i, j int) bool { return incs[i].ID < incs[j].ID })
+	sort.SliceStable(iters, func(i, j int) bool { return iters[i].Iter < iters[j].Iter })
+	return incs, iters, nil
+}
+
+// WriteJSON renders the same data as one hand-built (deterministic,
+// stdlib-marshal-free) JSON document with incidents, iterations and a
+// summary block.
+func (m *Monitor) WriteJSON(w io.Writer) error {
+	return writeJSON(w, m.incidents, m.iters)
+}
+
+func writeJSON(w io.Writer, incs []Incident, iters []IterationReport) error {
+	var b strings.Builder
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b.WriteString("{\n\"incidents\": [")
+	for i := range incs {
+		inc := &incs[i]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		end := int64(inc.End)
+		if inc.Open {
+			end = -1
+		}
+		fmt.Fprintf(&b, "\n{\"id\": %d, \"kind\": %s, \"subject\": %s, \"start_ns\": %d, \"end_ns\": %d, \"open\": %t, \"events\": %d, \"peak\": %s, \"detail\": %s}",
+			inc.ID, jsonString(inc.Kind), jsonString(inc.Subject), int64(inc.Start), end,
+			inc.Open, inc.Events, g(inc.Peak), jsonString(inc.Detail))
+	}
+	b.WriteString("\n],\n\"iterations\": [")
+	for i := range iters {
+		it := &iters[i]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n{\"iter\": %d, \"start_ns\": %d, \"end_ns\": %d, \"comm_s\": %s, \"baseline_s\": %s, \"delta_frac\": %s, \"regressed\": %t, \"reroutes\": %d, \"causes\": [",
+			it.Iter, int64(it.Start), int64(it.End), g(it.CommS), g(it.BaselineS),
+			g(it.DeltaFrac), it.Regressed, it.Reroutes)
+		for j, id := range it.Causes {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.Itoa(id))
+		}
+		b.WriteString("]}")
+	}
+	s := Summarize(incs, iters)
+	fmt.Fprintf(&b, "\n],\n\"summary\": {\"incidents\": %d, \"open\": %d, \"flap_storm\": %d, \"stall\": %d, \"polarization\": %d, \"degraded_throughput\": %d, \"iterations\": %d, \"regressed\": %d, \"attributed\": %d}\n}\n",
+		s.Incidents, s.Open, s.Flap, s.Stall, s.Polarization, s.Throughput,
+		s.Iterations, s.Regressed, s.Attributed)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonString quotes s as a JSON string (ASCII-safe escaping).
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, "\\u%04x", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Summary aggregates a timeline into the verdict hpndoctor prints and
+// tests assert on.
+type Summary struct {
+	Incidents, Open                       int
+	Flap, Stall, Polarization, Throughput int
+	Iterations, Regressed                 int
+	// Attributed counts regressed iterations with at least one overlapping
+	// incident.
+	Attributed int
+}
+
+// Summarize folds incidents and iteration reports into a Summary.
+func Summarize(incs []Incident, iters []IterationReport) Summary {
+	var s Summary
+	s.Incidents = len(incs)
+	for i := range incs {
+		if incs[i].Open {
+			s.Open++
+		}
+		switch incs[i].Kind {
+		case KindFlap:
+			s.Flap++
+		case KindStall:
+			s.Stall++
+		case KindPolarization:
+			s.Polarization++
+		case KindThroughput:
+			s.Throughput++
+		}
+	}
+	s.Iterations = len(iters)
+	for i := range iters {
+		if iters[i].Regressed {
+			s.Regressed++
+			if len(iters[i].Causes) > 0 {
+				s.Attributed++
+			}
+		}
+	}
+	return s
+}
+
+// Summary exit codes, following the hpnview convention (0 ok, 1 I/O,
+// 2 usage, 3 verdict).
+const (
+	ExitHealthy = 0
+	// ExitIncidents: fabric incidents were detected (whether or not the
+	// workload regressed).
+	ExitIncidents = 3
+	// ExitRegression: iterations regressed with no fabric incident to
+	// blame — the fabric looks clean, look at the workload.
+	ExitRegression = 4
+)
+
+// ExitCode maps the summary onto the hpndoctor process exit code.
+func (s Summary) ExitCode() int {
+	switch {
+	case s.Incidents > 0:
+		return ExitIncidents
+	case s.Regressed > 0:
+		return ExitRegression
+	default:
+		return ExitHealthy
+	}
+}
+
+// Verdict renders the one-line summary verdict.
+func (s Summary) Verdict() string {
+	if s.ExitCode() == ExitHealthy {
+		return fmt.Sprintf("healthy: no incidents over %d iterations", s.Iterations)
+	}
+	var parts []string
+	if s.Flap > 0 {
+		parts = append(parts, fmt.Sprintf("%d flap-storm", s.Flap))
+	}
+	if s.Stall > 0 {
+		parts = append(parts, fmt.Sprintf("%d stall", s.Stall))
+	}
+	if s.Polarization > 0 {
+		parts = append(parts, fmt.Sprintf("%d polarization", s.Polarization))
+	}
+	if s.Throughput > 0 {
+		parts = append(parts, fmt.Sprintf("%d degraded-throughput", s.Throughput))
+	}
+	head := "unhealthy"
+	if s.Incidents == 0 {
+		head = "regressed"
+		parts = append(parts, "no fabric incident to attribute")
+	}
+	return fmt.Sprintf("%s: %d incidents (%s), %d open; %d/%d iterations regressed (%d attributed)",
+		head, s.Incidents, strings.Join(parts, ", "), s.Open, s.Regressed, s.Iterations, s.Attributed)
+}
+
+// Summary returns the monitor's current summary.
+func (m *Monitor) Summary() Summary { return Summarize(m.incidents, m.iters) }

@@ -1,0 +1,145 @@
+package health
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpn/internal/sim"
+	"hpn/internal/workload"
+)
+
+// IterationReport is one training iteration correlated against the fabric
+// incident timeline: what the iteration's gradient sync cost, how that
+// compares to the healthy baseline, and which incidents overlapped it.
+type IterationReport struct {
+	Iter  int
+	Start sim.Time // end of the previous iteration (or watch start)
+	End   sim.Time
+	CommS float64 // this iteration's gradient-sync seconds
+
+	// BaselineS is the healthy-iteration mean comm time at judgment
+	// (0 until BaselineIters healthy iterations completed).
+	BaselineS float64
+	// DeltaFrac is (CommS-BaselineS)/BaselineS, 0 without a baseline.
+	DeltaFrac float64
+	Regressed bool
+
+	// Reroutes counts reroute passes that fired during the iteration.
+	Reroutes int
+	// Causes lists the IDs of incidents whose lifetime overlapped the
+	// iteration window, ascending.
+	Causes []int
+}
+
+// WatchTrainer hooks the trainer's per-iteration callback so every
+// completed iteration is judged against the healthy baseline and
+// correlated with overlapping incidents. An existing OnIteration callback
+// is chained after the monitor's. One trainer per monitor: the attribution
+// window assumes sequential iterations.
+func (m *Monitor) WatchTrainer(tr *workload.Trainer) {
+	m.lastIterEnd = m.Net.Eng.Now()
+	m.lastIterRR = m.reroutes
+	prev := tr.OnIteration
+	tr.OnIteration = func(iter int, now sim.Time) {
+		m.noteIteration(tr, iter, now)
+		if prev != nil {
+			prev(iter, now)
+		}
+	}
+}
+
+func (m *Monitor) noteIteration(tr *workload.Trainer, iter int, now sim.Time) {
+	start := m.lastIterEnd
+	m.lastIterEnd = now
+	rr := m.reroutes - m.lastIterRR
+	m.lastIterRR = m.reroutes
+	comm := 0.0
+	if n := tr.CommSeconds.Len(); n > 0 {
+		comm = tr.CommSeconds.Points[n-1].V
+	}
+	rep := IterationReport{Iter: iter, Start: start, End: now, CommS: comm, Reroutes: rr}
+	for i := range m.incidents {
+		inc := &m.incidents[i]
+		if inc.Start <= now && (inc.Open || inc.End >= start) {
+			rep.Causes = append(rep.Causes, inc.ID)
+		}
+	}
+	if m.healthyN >= m.Cfg.BaselineIters {
+		rep.BaselineS = m.healthySum / float64(m.healthyN)
+		if rep.BaselineS > 0 {
+			rep.DeltaFrac = (comm - rep.BaselineS) / rep.BaselineS
+			rep.Regressed = rep.DeltaFrac > m.Cfg.CommRegressFraction
+		}
+	}
+	// Only incident-free, non-regressed iterations feed the baseline, so a
+	// long incident cannot drag the baseline up and mask itself.
+	if len(rep.Causes) == 0 && !rep.Regressed {
+		m.healthySum += comm
+		m.healthyN++
+	}
+	m.iters = append(m.iters, rep)
+}
+
+// Verdict renders one iteration's causal line, e.g.
+// "iteration 47: +31% comm time (1.31s vs 1.00s) <- flap-storm on
+// tor3<->agg2 (#2), 2 reroutes". incs is the monitor's incident list.
+func (r *IterationReport) Verdict(incs []Incident) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iteration %d: ", r.Iter)
+	if r.BaselineS > 0 {
+		fmt.Fprintf(&b, "%s comm time (%.3gs vs %.3gs baseline)", fmtPct(r.DeltaFrac), r.CommS, r.BaselineS)
+	} else {
+		fmt.Fprintf(&b, "%.3gs comm time (no baseline yet)", r.CommS)
+	}
+	if len(r.Causes) > 0 {
+		b.WriteString(" <- ")
+		for i, id := range r.Causes {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			if id >= 1 && id <= len(incs) {
+				inc := &incs[id-1]
+				fmt.Fprintf(&b, "%s on %s (#%d)", inc.Kind, inc.Subject, id)
+			} else {
+				fmt.Fprintf(&b, "#%d", id)
+			}
+		}
+	}
+	if r.Reroutes > 0 {
+		fmt.Fprintf(&b, ", %d reroute", r.Reroutes)
+		if r.Reroutes > 1 {
+			b.WriteByte('s')
+		}
+	}
+	return b.String()
+}
+
+// causesString joins cause IDs as "1+3" ("-" when empty) for the TSV.
+func causesString(causes []int) string {
+	if len(causes) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(causes))
+	for i, id := range causes {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, "+")
+}
+
+// parseCauses inverts causesString.
+func parseCauses(s string) ([]int, error) {
+	if s == "-" || s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "+")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("health: bad cause list %q: %w", s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

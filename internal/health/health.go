@@ -1,0 +1,336 @@
+// Package health is an online fabric health monitor: it subscribes to the
+// simulator's streaming fabric events (netsim.Observer) and runs a set of
+// incremental detectors while the run executes, with no artifact dump or
+// post-run parsing required. The detectors mirror HPN's operational pain
+// points — link flap storms (Fig. 18), stuck flows, ECMP hash polarization
+// and degraded per-flow throughput — and an attribution engine correlates
+// per-iteration communication-time regressions of a training job with the
+// fabric incidents that overlapped the iteration, producing a causal
+// timeline ("iteration 47 +31% comm time <- flap storm on tor3<->agg2").
+//
+// Everything here runs inside the deterministic event loop: detector state
+// iterates in first-seen order (never Go map order), timestamps are virtual
+// time, and the incidents.tsv / incidents.json artifacts are byte-identical
+// across same-seed runs. With the monitor not attached, the simulator pays
+// one nil check per emission point (see netsim.Observer).
+package health
+
+import (
+	"fmt"
+
+	"hpn/internal/netsim"
+	"hpn/internal/route"
+	"hpn/internal/sim"
+	"hpn/internal/telemetry"
+	"hpn/internal/topo"
+)
+
+// Incident kinds.
+const (
+	KindFlap         = "flap-storm"
+	KindStall        = "stall"
+	KindPolarization = "polarization"
+	KindThroughput   = "degraded-throughput"
+)
+
+// Config tunes the detectors. Zero fields take the DefaultConfig value.
+type Config struct {
+	// Tick is the detector sweep period (stall polling, quiet-window
+	// closing). Default 1s, matching the failure watchdog's poll.
+	Tick sim.Time
+
+	// FlapWindow / FlapThreshold open a flap-storm incident when a cable
+	// (or switch) sees >= FlapThreshold up/down transitions within
+	// FlapWindow. Defaults 10s / 4: one clean fail+recover pair stays an
+	// event, a Fig. 18 flap train becomes an incident.
+	FlapWindow    sim.Time
+	FlapThreshold int
+
+	// StallAfter opens a stall incident once flows have been continuously
+	// blackholed for this long — far below the ~90s NCCL-timeout watchdog,
+	// which this detector complements rather than replaces. Default 2s.
+	StallAfter sim.Time
+
+	// PolarizationMinFlows is the minimum distinct-tuple mass before an
+	// ECMP group is judged (also scaled by group size internally, so small
+	// samples over wide groups never alias as polarization). Default 16.
+	PolarizationMinFlows int
+	// PolarizationRatio is the max/min bucket-load ratio at which a group
+	// counts as polarized (streaming hashing.RatioImbalance). Default 3.
+	PolarizationRatio float64
+	// PolarizationCap clamps the ratio when some bucket is starved
+	// entirely. Default 64.
+	PolarizationCap float64
+
+	// DegradedFraction flags a completed flow whose effective throughput
+	// fell below this fraction of its size class's healthy mean; an
+	// incident opens when DegradedMinFlows such flows land within
+	// DegradedWindow. Defaults 0.5 / 8 / 5s.
+	DegradedFraction float64
+	DegradedMinFlows int
+	DegradedWindow   sim.Time
+	// BaselineFlows is the per-size-class observation count before
+	// degradation is judged. Default 32.
+	BaselineFlows int
+
+	// CommRegressFraction marks a training iteration regressed when its
+	// gradient-sync time exceeds the healthy-iteration mean by this
+	// fraction; BaselineIters healthy iterations must complete first.
+	// Defaults 0.15 / 2.
+	CommRegressFraction float64
+	BaselineIters       int
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{
+		Tick:                 sim.Second,
+		FlapWindow:           10 * sim.Second,
+		FlapThreshold:        4,
+		StallAfter:           2 * sim.Second,
+		PolarizationMinFlows: 16,
+		PolarizationRatio:    3,
+		PolarizationCap:      64,
+		DegradedFraction:     0.5,
+		DegradedMinFlows:     8,
+		DegradedWindow:       5 * sim.Second,
+		BaselineFlows:        32,
+		CommRegressFraction:  0.15,
+		BaselineIters:        2,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Tick <= 0 {
+		c.Tick = d.Tick
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = d.FlapWindow
+	}
+	if c.FlapThreshold <= 0 {
+		c.FlapThreshold = d.FlapThreshold
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = d.StallAfter
+	}
+	if c.PolarizationMinFlows <= 0 {
+		c.PolarizationMinFlows = d.PolarizationMinFlows
+	}
+	if c.PolarizationRatio <= 0 {
+		c.PolarizationRatio = d.PolarizationRatio
+	}
+	if c.PolarizationCap <= 0 {
+		c.PolarizationCap = d.PolarizationCap
+	}
+	if c.DegradedFraction <= 0 {
+		c.DegradedFraction = d.DegradedFraction
+	}
+	if c.DegradedMinFlows <= 0 {
+		c.DegradedMinFlows = d.DegradedMinFlows
+	}
+	if c.DegradedWindow <= 0 {
+		c.DegradedWindow = d.DegradedWindow
+	}
+	if c.BaselineFlows <= 0 {
+		c.BaselineFlows = d.BaselineFlows
+	}
+	if c.CommRegressFraction <= 0 {
+		c.CommRegressFraction = d.CommRegressFraction
+	}
+	if c.BaselineIters <= 0 {
+		c.BaselineIters = d.BaselineIters
+	}
+}
+
+// Incident is one detected fabric anomaly with a lifetime.
+type Incident struct {
+	ID      int    // 1-based, in detection order
+	Kind    string // Kind* constant
+	Subject string // the link/node/group/size-class concerned
+	Start   sim.Time
+	End     sim.Time // valid once !Open
+	Open    bool
+	Events  int     // kind-specific event count folded into the incident
+	Peak    float64 // kind-specific worst magnitude (transitions in window, stalled flows, load ratio, 1/throughput-fraction)
+	Detail  string  // human-readable one-liner (no tabs)
+}
+
+// incKey identifies the at-most-one open incident per (kind, subject).
+type incKey struct{ kind, subject string }
+
+// Monitor implements netsim.Observer: it consumes the event stream, keeps
+// per-detector state, and accumulates the incident + iteration timeline.
+type Monitor struct {
+	Net *netsim.Sim
+	Cfg Config
+
+	incidents []Incident
+	openIdx   map[incKey]int // index into incidents of the open one
+
+	// Detector state. All iteration walks the *List slices (first-seen
+	// order); the maps only serve O(1) lookup, so artifacts never depend
+	// on Go map iteration order.
+	flapIdx  map[string]int
+	flapList []*flapState
+
+	stalling   bool
+	stallSince sim.Time
+
+	groupIdx  map[groupKey]int
+	groupList []*groupState
+
+	classIdx  map[int]int
+	classList []*classState
+
+	// reroutes counts reroute passes seen, for per-iteration attribution.
+	reroutes int
+
+	// Attribution state (see attribution.go).
+	iters       []IterationReport
+	lastIterEnd sim.Time
+	lastIterRR  int
+	healthySum  float64
+	healthyN    int
+
+	ctrIncidents *telemetry.Counter
+}
+
+// Attach builds a monitor over the simulator, installs it as the fabric
+// observer, arms its periodic sweep on the engine, and (when the simulator
+// carries a registry) registers the "incidents.tsv"/"incidents.json"
+// artifact exporters plus health metrics under the simulator's prefix.
+func Attach(net *netsim.Sim, cfg Config) *Monitor {
+	cfg.fillDefaults()
+	m := &Monitor{
+		Net:      net,
+		Cfg:      cfg,
+		openIdx:  map[incKey]int{},
+		flapIdx:  map[string]int{},
+		groupIdx: map[groupKey]int{},
+		classIdx: map[int]int{},
+	}
+	net.SetObserver(m)
+	if net.Reg != nil {
+		p := net.MetricsPrefix
+		m.ctrIncidents = net.Reg.Counter(p+"health_incidents_total", "fabric incidents opened by the health monitor")
+		net.Reg.Gauge(p+"health_open_incidents", "fabric incidents currently open",
+			func() float64 { return float64(m.OpenIncidents()) })
+		net.Reg.RegisterExporter(p+"incidents.tsv", m.WriteTSV)
+		net.Reg.RegisterExporter(p+"incidents.json", m.WriteJSON)
+	}
+	var tick func()
+	tick = func() {
+		m.sweep(m.Net.Eng.Now())
+		m.Net.Eng.ScheduleDaemon(m.Cfg.Tick, tick)
+	}
+	net.Eng.ScheduleDaemon(m.Cfg.Tick, tick)
+	return m
+}
+
+// MonitorOf returns the monitor attached to the simulator, or nil if the
+// fabric observer is absent or something else.
+func MonitorOf(net *netsim.Sim) *Monitor {
+	m, _ := net.Observer().(*Monitor)
+	return m
+}
+
+// Incidents returns the incident list in detection order (shared slice;
+// callers must not mutate).
+func (m *Monitor) Incidents() []Incident { return m.incidents }
+
+// Iterations returns the per-iteration attribution reports (shared slice).
+func (m *Monitor) Iterations() []IterationReport { return m.iters }
+
+// OpenIncidents counts currently open incidents.
+func (m *Monitor) OpenIncidents() int {
+	n := 0
+	for i := range m.incidents {
+		if m.incidents[i].Open {
+			n++
+		}
+	}
+	return n
+}
+
+// openIncident returns the open incident for (kind, subject), creating it
+// (started at start) if none is open.
+func (m *Monitor) openIncident(kind, subject string, start sim.Time, detail string) *Incident {
+	k := incKey{kind, subject}
+	if i, ok := m.openIdx[k]; ok {
+		return &m.incidents[i]
+	}
+	m.incidents = append(m.incidents, Incident{
+		ID: len(m.incidents) + 1, Kind: kind, Subject: subject,
+		Start: start, Open: true, Detail: detail,
+	})
+	m.openIdx[k] = len(m.incidents) - 1
+	m.ctrIncidents.Inc()
+	return &m.incidents[len(m.incidents)-1]
+}
+
+// closeIncident ends the open incident for (kind, subject), if any.
+func (m *Monitor) closeIncident(kind, subject string, end sim.Time) {
+	k := incKey{kind, subject}
+	i, ok := m.openIdx[k]
+	if !ok {
+		return
+	}
+	delete(m.openIdx, k)
+	m.incidents[i].Open = false
+	m.incidents[i].End = end
+}
+
+// sweep is the periodic detector pass: it polls stall state and closes
+// quiet incidents.
+func (m *Monitor) sweep(now sim.Time) {
+	m.sweepStall(now)
+	m.sweepFlap(now)
+	m.sweepPolarization(now)
+	m.sweepThroughput(now)
+}
+
+// linkSubject names a cable for incident subjects, e.g.
+// "pod0/seg1/tor0<->pod0/agg2".
+func (m *Monitor) linkSubject(l topo.LinkID) string {
+	lk := m.Net.Top.Link(l)
+	return m.Net.Top.Node(lk.From).Name + "<->" + m.Net.Top.Node(lk.To).Name
+}
+
+// netsim.Observer implementation. Each callback runs inside event dispatch
+// and must stay cheap and deterministic.
+
+// LinkEvent feeds the flap detector.
+func (m *Monitor) LinkEvent(now sim.Time, l topo.LinkID, up bool) {
+	m.noteTransition(now, m.linkSubject(l), up)
+}
+
+// NodeEvent feeds node transitions into the same flap detector, keyed by
+// switch name.
+func (m *Monitor) NodeEvent(now sim.Time, n topo.NodeID, up bool) {
+	m.noteTransition(now, m.Net.Top.Node(n).Name, up)
+}
+
+// RerouteDone counts passes for attribution; stall recovery itself is
+// observed by the sweep.
+func (m *Monitor) RerouteDone(now sim.Time, repathed, stillStalled int) {
+	m.reroutes++
+}
+
+// FlowRouted feeds the polarization detector with the path's hash
+// decisions.
+func (m *Monitor) FlowRouted(now sim.Time, f *netsim.Flow, hops []route.HopDecision) {
+	m.notePath(f, hops)
+}
+
+// FlowDone feeds the degraded-throughput detector.
+func (m *Monitor) FlowDone(now sim.Time, f *netsim.Flow) {
+	m.noteCompletion(now, f)
+}
+
+var _ netsim.Observer = (*Monitor)(nil)
+
+// fmtPct renders a fraction as "+31%" / "-5%".
+func fmtPct(frac float64) string {
+	return fmt.Sprintf("%+.0f%%", frac*100)
+}

@@ -22,6 +22,9 @@
 //   - tracenil:   telemetry emission sites must sit behind a nil-tracer
 //     guard so disabled telemetry costs one branch, not argument
 //     construction.
+//   - obsnil:     netsim.Observer callback sites must sit behind a
+//     nil-observer guard — a nil interface call panics, and the
+//     observer-less simulation must cost one branch per emission point.
 //
 // Intentional exceptions carry a `//hpnlint:allow <rule>` directive (see
 // collectAllows in allow.go for the exact syntax).
@@ -39,6 +42,7 @@ import (
 const (
 	telemetryPath = "hpn/internal/telemetry"
 	simPath       = "hpn/internal/sim"
+	netsimPath    = "hpn/internal/netsim"
 )
 
 // Diagnostic is one finding at a resolved source position.
@@ -71,6 +75,7 @@ func AllRules() []Rule {
 		maporderRule{},
 		floateqRule{},
 		tracenilRule{},
+		obsnilRule{},
 	}
 }
 

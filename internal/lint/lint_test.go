@@ -145,6 +145,7 @@ func TestFixtureGlobalrand(t *testing.T) { checkFixture(t, "globalrand", AllRule
 func TestFixtureMaporder(t *testing.T)   { checkFixture(t, "maporder", AllRules()) }
 func TestFixtureFloateq(t *testing.T)    { checkFixture(t, "floateq", AllRules()) }
 func TestFixtureTracenil(t *testing.T)   { checkFixture(t, "tracenil", AllRules()) }
+func TestFixtureObsnil(t *testing.T)     { checkFixture(t, "obsnil", AllRules()) }
 
 // TestFixturesFailWithRuleDisabled is the inverse guard: dropping any
 // single rule from the set must leave that fixture's wants unmatched.

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsnilRule enforces the fabric-observer cost contract, the same bargain
+// tracenil strikes for tracers: every callback invocation on a
+// netsim.Observer interface value sits behind an explicit nil guard, so a
+// simulation without a health monitor attached pays exactly one branch per
+// emission point — not argument evaluation for a callback nobody receives.
+// Unlike the nil-safe telemetry methods, calling a method on a nil
+// interface value panics, so an unguarded site here is a latent crash on
+// the default (observer-less) path, not just an overhead leak.
+//
+// Recognized guard shapes match guardedNotNil (rule_tracenil.go):
+//
+//	if X != nil { ... X.LinkEvent(...) ... }      // enclosing-if form
+//	if X == nil { return }; ...; X.FlowDone(...)  // early-return form
+type obsnilRule struct{}
+
+func (obsnilRule) Name() string { return "obsnil" }
+func (obsnilRule) Doc() string {
+	return "netsim.Observer callback calls must sit behind a nil-observer guard"
+}
+
+func (obsnilRule) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isObserverMethod(fn) {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if guardedNotNil(stack, call, recv) {
+				return true
+			}
+			p.Reportf(call.Pos(), "obsnil",
+				"%s.%s() is not behind a nil-observer guard; wrap it in `if %s != nil { ... }` (or early-return on nil) — a nil interface call panics and the disabled path must cost one branch",
+				recv, fn.Name(), recv)
+			return true
+		})
+	}
+}
+
+// isObserverMethod reports whether fn is a method declared on the
+// netsim.Observer interface itself — the dynamic-dispatch call sites the
+// contract covers. Concrete implementations (health.Monitor and fixture
+// doubles) call their own methods with a known-non-nil receiver and are
+// exempt.
+func isObserverMethod(fn *types.Func) bool {
+	if funcPkgPath(fn) != netsimPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Observer" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}

@@ -18,6 +18,9 @@ func (s *Sim) FailCable(l topo.LinkID) {
 	s.R.NoteLinkFailed(l, now)
 	s.ctrLinkEvents.Inc()
 	s.instant("link_down", telemetry.Arg{K: "link", V: int(l)})
+	if s.obs != nil {
+		s.obs.LinkEvent(now, l, false)
+	}
 	rev := s.Top.Link(l).Reverse
 	for _, f := range s.active {
 		if pathHasLink(f.Path, l) || pathHasLink(f.Path, rev) {
@@ -39,6 +42,9 @@ func (s *Sim) RecoverCable(l topo.LinkID) {
 	s.R.NoteLinkRecovered(l)
 	s.ctrLinkEvents.Inc()
 	s.instant("link_up", telemetry.Arg{K: "link", V: int(l)})
+	if s.obs != nil {
+		s.obs.LinkEvent(s.Eng.Now(), l, true)
+	}
 	s.scheduleReroute(200 * sim.Millisecond)
 }
 
@@ -52,6 +58,9 @@ func (s *Sim) FailNode(n topo.NodeID) {
 	s.ctrLinkEvents.Inc()
 	s.instant("node_down", telemetry.Arg{K: "node", V: int(n)},
 		telemetry.Arg{K: "name", V: s.Top.Node(n).Name})
+	if s.obs != nil {
+		s.obs.NodeEvent(now, n, false)
+	}
 	for _, f := range s.active {
 		for _, lk := range f.Path {
 			link := s.Top.Link(lk)
@@ -74,6 +83,9 @@ func (s *Sim) RecoverNode(n topo.NodeID) {
 	s.ctrLinkEvents.Inc()
 	s.instant("node_up", telemetry.Arg{K: "node", V: int(n)},
 		telemetry.Arg{K: "name", V: s.Top.Node(n).Name})
+	if s.obs != nil {
+		s.obs.NodeEvent(s.Eng.Now(), n, true)
+	}
 	s.scheduleReroute(200 * sim.Millisecond)
 }
 
@@ -105,8 +117,24 @@ func (s *Sim) scheduleReroute(delay sim.Time) {
 func (s *Sim) reroutePass() {
 	s.beginMutate()
 	defer s.endMutate()
-	stillStalled := false
-	moved := 0
+	moved, still := s.repathStalled()
+	s.ctrReroutes.Inc()
+	s.instant("reroute",
+		telemetry.Arg{K: "repathed", V: moved},
+		telemetry.Arg{K: "still_stalled", V: still > 0})
+	if s.obs != nil {
+		s.obs.RerouteDone(s.Eng.Now(), moved, still)
+	}
+	// If flows are still stuck and the fabric is still reconverging (e.g. a
+	// second failure landed during the pass), try once more afterwards.
+	if still > 0 {
+		s.retryReroute()
+	}
+}
+
+// repathStalled re-routes every stalled flow, returning how many moved and
+// how many remain stalled.
+func (s *Sim) repathStalled() (moved, still int) {
 	for _, f := range s.active {
 		if !f.Stalled {
 			continue
@@ -116,20 +144,12 @@ func (s *Sim) reroutePass() {
 			f.Stalled = true
 		}
 		if f.Stalled {
-			stillStalled = true
+			still++
 		} else {
 			moved++
 		}
 	}
-	s.ctrReroutes.Inc()
-	s.instant("reroute",
-		telemetry.Arg{K: "repathed", V: moved},
-		telemetry.Arg{K: "still_stalled", V: stillStalled})
-	// If flows are still stuck and the fabric is still reconverging (e.g. a
-	// second failure landed during the pass), try once more afterwards.
-	if stillStalled {
-		s.retryReroute()
-	}
+	return moved, still
 }
 
 // retryReroute schedules one more pass a convergence-delay out, without
@@ -144,13 +164,9 @@ func (s *Sim) retryReroute() {
 		s.rerouteScheduled = false
 		s.beginMutate()
 		defer s.endMutate()
-		for _, f := range s.active {
-			if f.Stalled {
-				f.Stalled = false
-				if err := s.routeFlow(f); err != nil {
-					f.Stalled = true
-				}
-			}
+		moved, still := s.repathStalled()
+		if s.obs != nil {
+			s.obs.RerouteDone(s.Eng.Now(), moved, still)
 		}
 	})
 }

@@ -41,6 +41,11 @@ func (s *Sim) registerInbandExporters() {
 	}
 	s.Reg.RegisterExporter(s.MetricsPrefix+"inband.tsv", s.inband.WriteTSV)
 	s.Reg.RegisterExporter(s.MetricsPrefix+"inband.json", s.inband.WriteJSON)
+	// Surface collector truncation: a capped collector silently under-reports
+	// otherwise, and hpnview reads the dump as complete coverage.
+	s.Reg.Gauge(s.MetricsPrefix+"netsim_inband_dropped_records",
+		"in-band per-hop records discarded past the collector cap",
+		func() float64 { return float64(s.inband.Dropped()) })
 }
 
 // inbandState returns the flow's lazily-allocated in-band state. Only

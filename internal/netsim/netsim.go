@@ -147,6 +147,12 @@ type Sim struct {
 
 	rerouteScheduled bool
 
+	// obs receives streaming fabric events (nil = disabled; see
+	// observer.go). obsHops is routing scratch for FlowRouted when in-band
+	// telemetry is off.
+	obs     Observer
+	obsHops []route.HopDecision
+
 	flowLog    []FlowRecord
 	flowLogCap int
 
@@ -171,6 +177,7 @@ type Sim struct {
 	ctrRecomputes *telemetry.Counter
 	ctrReroutes   *telemetry.Counter
 	ctrLinkEvents *telemetry.Counter
+	histFCT       *telemetry.Histogram
 
 	// Stats
 	CompletedFlows int64
@@ -279,12 +286,19 @@ func (s *Sim) routeFlow(f *Flow) error {
 		var path []topo.LinkID
 		var blackholed bool
 		var err error
-		if s.inband != nil {
+		switch {
+		case s.inband != nil:
 			ib := f.inbandState()
 			ib.hops = ib.hops[:0]
 			path, blackholed, err = s.R.PathObserved(f.Src, f.Dst, port, f.Tuple, now,
 				func(d route.HopDecision) { ib.hops = append(ib.hops, d) })
-		} else {
+		case s.obs != nil:
+			// No in-band state to piggyback on: collect the hash decisions
+			// into Sim scratch for the FlowRouted emission alone.
+			s.obsHops = s.obsHops[:0]
+			path, blackholed, err = s.R.PathObserved(f.Src, f.Dst, port, f.Tuple, now,
+				func(d route.HopDecision) { s.obsHops = append(s.obsHops, d) })
+		default:
 			path, blackholed, err = s.R.Path(f.Src, f.Dst, port, f.Tuple, now)
 		}
 		f.Port = port
@@ -301,6 +315,7 @@ func (s *Sim) routeFlow(f *Flow) error {
 	if p := f.PinnedPort; p >= 0 &&
 		s.Top.LinkUsable(s.Top.AccessLink(f.Src.Host, f.Src.NIC, p)) && tryPort(p) {
 		s.inbandOpen(f)
+		s.observeRouted(f)
 		return nil
 	}
 	p, err := s.R.PickAccessPort(f.Src, f.Dst, f.Tuple, now)
@@ -311,11 +326,14 @@ func (s *Sim) routeFlow(f *Flow) error {
 		if f.ib != nil {
 			f.ib.hops = f.ib.hops[:0]
 		}
+		s.obsHops = s.obsHops[:0]
 		s.inbandOpen(f)
+		s.observeRouted(f)
 		return nil // flow exists but cannot move; not a caller error
 	}
 	tryPort(p)
 	s.inbandOpen(f)
+	s.observeRouted(f)
 	return nil
 }
 
@@ -401,6 +419,7 @@ func (s *Sim) completionEvent() {
 		s.logFlow(f)
 		s.inbandFlush(f)
 		s.ctrFlows.Inc()
+		s.histFCT.Observe((f.DoneAt - f.StartedAt).Seconds())
 		if s.Trace != nil {
 			s.Trace.Complete(int64(f.StartedAt), int64(f.DoneAt-f.StartedAt),
 				"netsim", "flow", telemetry.TidNetsim,
@@ -410,6 +429,9 @@ func (s *Sim) completionEvent() {
 				telemetry.Arg{K: "bytes", V: f.Bits / 8},
 				telemetry.Arg{K: "port", V: f.Port},
 				telemetry.Arg{K: "hops", V: len(f.Path)})
+		}
+		if s.obs != nil {
+			s.obs.FlowDone(now, f)
 		}
 		if f.OnComplete != nil {
 			f.OnComplete(now, f)

@@ -19,6 +19,10 @@ func (s *Sim) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, pre
 	s.ctrRecomputes = reg.Counter(prefix+"netsim_recomputes_total", "max-min rate recomputations (allocation rounds)")
 	s.ctrReroutes = reg.Counter(prefix+"netsim_reroute_passes_total", "post-convergence reroute passes")
 	s.ctrLinkEvents = reg.Counter(prefix+"netsim_topology_events_total", "link/node up+down transitions")
+	// 10us .. 1000s in decades: collective shards sit near the bottom,
+	// stall-delayed elephants near the top.
+	s.histFCT = reg.Histogram(prefix+"netsim_fct_seconds", "flow completion time distribution (s)",
+		telemetry.LogBuckets(1e-5, 10, 8))
 	reg.Gauge(prefix+"netsim_active_flows", "in-flight flows (including stalled)",
 		func() float64 { return float64(s.ActiveFlows()) })
 	reg.Gauge(prefix+"netsim_stalled_flows", "currently blackholed flows",

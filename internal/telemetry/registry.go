@@ -54,6 +54,7 @@ type Registry struct {
 	mu            sync.Mutex
 	counters      map[string]*Counter
 	gauges        map[string]*gauge
+	histograms    map[string]*Histogram
 	exporters     map[string]func(io.Writer) error
 	exporterOrder []string
 }
@@ -61,9 +62,10 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:  map[string]*Counter{},
-		gauges:    map[string]*gauge{},
-		exporters: map[string]func(io.Writer) error{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*gauge{},
+		histograms: map[string]*Histogram{},
+		exporters:  map[string]func(io.Writer) error{},
 	}
 }
 
@@ -161,8 +163,9 @@ func (r *Registry) snapshot() []metricRow {
 	return rows
 }
 
-// WritePrometheus renders every counter and gauge in the Prometheus text
-// exposition format, sorted by name for deterministic output.
+// WritePrometheus renders every counter, gauge and histogram in the
+// Prometheus text exposition format, sorted by name for deterministic
+// output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -179,19 +182,40 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b.WriteString(strconv.FormatFloat(row.v, 'g', -1, 64))
 		b.WriteByte('\n')
 	}
+	for _, h := range r.histSnapshot() {
+		bounds, counts, sum, n := h.snapshot()
+		name := SanitizeMetricName(h.name)
+		if h.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, bound := range bounds {
+			cum += counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name,
+				strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, n)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", name, n)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// WriteJSON renders every counter and gauge as one sorted JSON object
-// keyed by metric name.
+// WriteJSON renders every counter, gauge and (flattened) histogram as one
+// sorted JSON object keyed by metric name. Histograms flatten to
+// `name_bucket_le_<bound>` cumulative counts plus `name_sum`/`name_count`
+// so the object stays a flat name->number map (consumers like hpnbench's
+// -compare rely on that shape).
 func (r *Registry) WriteJSON(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	var b strings.Builder
 	b.WriteString("{\n")
-	rows := r.snapshot()
+	rows := append(r.snapshot(), r.histRows()...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	for i, row := range rows {
 		b.Write(appendQuoted(nil, row.name))
 		b.WriteString(": ")

@@ -31,6 +31,11 @@ type Options struct {
 	// InbandMax bounds the retained per-hop records per cluster
 	// (0 = unbounded); records past the cap are counted as dropped.
 	InbandMax int
+	// Health attaches the online fabric health monitor to each cluster:
+	// streaming flap/stall/polarization/throughput detectors plus
+	// per-iteration attribution, exported as the "incidents.tsv" and
+	// "incidents.json" artifacts (rendered by hpndoctor).
+	Health bool
 }
 
 // DefaultOptions enables tracing and a 10ms-virtual-time sampler keeping

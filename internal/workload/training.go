@@ -113,12 +113,17 @@ type Trainer struct {
 	running    bool
 	phaseStart sim.Time
 	ctrIters   *telemetry.Counter
+	histComm   *telemetry.Histogram
 }
 
 // NewTrainer builds collective groups for the job over the fabric.
 func NewTrainer(net *netsim.Sim, job *Job, cfg collective.Config) (*Trainer, error) {
 	t := &Trainer{Net: net, Job: job, Cfg: cfg, MicrobatchesPerIteration: 8}
 	t.ctrIters = net.Reg.Counter(net.MetricsPrefix+"workload_iterations_total", "completed training iterations")
+	// 1ms .. 65s in octaves: healthy gradient syncs cluster low, incidents
+	// push iterations into the top buckets.
+	t.histComm = net.Reg.Histogram(net.MetricsPrefix+"workload_comm_seconds",
+		"per-iteration gradient-sync time distribution (s)", telemetry.LogBuckets(1e-3, 2, 17))
 	for _, hosts := range job.DPGroups() {
 		if len(hosts) < 2 {
 			continue // DP=1: no gradient traffic
@@ -234,6 +239,7 @@ func (t *Trainer) completeIteration(comm sim.Time) {
 	sps := SamplesPerSecond(m, t.Job.Par.GPUs(), iter)
 	t.Perf.Add(now.Seconds(), sps)
 	t.CommSeconds.Add(now.Seconds(), comm.Seconds())
+	t.histComm.Observe(comm.Seconds())
 	if t.Net.Trace != nil {
 		t.Net.Trace.Complete(int64(t.phaseStart), int64(now-t.phaseStart),
 			"workload", "grad_sync", telemetry.TidWorkload,
