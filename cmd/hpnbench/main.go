@@ -39,8 +39,19 @@ func main() {
 		benchOut = flag.String("benchout", "", "write a BENCH_<stamp>.json perf snapshot (scenario, ns/op, allocs, flows/sec) into this directory")
 		compare  = flag.Bool("compare", false, "compare two BENCH snapshots: hpnbench -compare old.json new.json")
 		tol      = flag.Float64("tolerance", 0.10, "with -compare: flows/sec may drop by this fraction before a scenario counts as regressed")
+		useMemo  = flag.String("memo", "off", "iteration memoization on every cluster: on | off (fast-forward repeated steady-state iterations; disables periodic sampling)")
 	)
 	flag.Parse()
+
+	memoOn := false
+	switch *useMemo {
+	case "on":
+		memoOn = true
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "hpnbench: -memo must be on or off, got %q\n", *useMemo)
+		os.Exit(2)
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -66,11 +77,12 @@ func main() {
 	}
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || *benchOut != "" {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || *benchOut != "" || memoOn {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
 		opt.Inband = *inbandTo != ""
 		opt.Health = *healthTo != ""
+		opt.Memo = memoOn
 		// Experiments build many clusters; bound the trace and the in-band
 		// stream so a full sweep cannot exhaust memory.
 		opt.MaxTraceEvents = 2_000_000
@@ -79,6 +91,12 @@ func main() {
 			// -benchout alone: counters only, no sampler daemons perturbing
 			// the measured runs.
 			opt.SampleInterval = 0
+		}
+		if memoOn && opt.SampleInterval != 0 {
+			// The sampler's periodic daemon tick would land inside every
+			// candidate window and block memoization entirely.
+			opt.SampleInterval = 0
+			fmt.Println("memo: periodic sampling disabled (incompatible with fast-forward)")
 		}
 		hub = hpn.EnableDefaultTelemetry(opt)
 	}

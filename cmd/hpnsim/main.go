@@ -29,15 +29,33 @@ func main() {
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 		inbandTo = flag.String("inband", "", "enable in-band path telemetry and write run artifacts (per-hop inband.tsv/json, flow log, samples) into this directory")
 		healthTo = flag.String("health", "", "enable online fabric health monitoring and write run artifacts (incidents.tsv/json causal timeline; render with hpndoctor) into this directory")
+		useMemo  = flag.String("memo", "off", "iteration memoization: on | off (fast-forward repeated steady-state iterations; disables periodic sampling)")
 	)
 	flag.Parse()
 
+	memoOn := false
+	switch *useMemo {
+	case "on":
+		memoOn = true
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "hpnsim: -memo must be on or off, got %q\n", *useMemo)
+		os.Exit(2)
+	}
+
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || memoOn {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
 		opt.Inband = *inbandTo != ""
 		opt.Health = *healthTo != ""
+		opt.Memo = memoOn
+		if memoOn && opt.SampleInterval != 0 {
+			// The sampler's periodic daemon tick would land inside every
+			// candidate window and block memoization entirely.
+			opt.SampleInterval = 0
+			fmt.Println("memo: periodic sampling disabled (incompatible with fast-forward)")
+		}
 		hub = hpn.EnableDefaultTelemetry(opt)
 	}
 
@@ -115,6 +133,14 @@ func main() {
 
 	if m := hpn.HealthMonitorOf(c); m != nil {
 		fmt.Printf("health: %s\n", m.Summary().Verdict())
+	}
+	if r := hpn.MemoRecorderOf(c); r != nil {
+		s := r.Stats()
+		fmt.Printf("memo: %d hits, %d misses, %d blocked, %d invalidations, %d/%d iterations replayed\n",
+			s.Hits, s.Misses, s.Blocked, s.Invalidations, s.Replayed, tr.Iterations)
+	}
+	if tr.FirstErr != nil {
+		fmt.Fprintf(os.Stderr, "hpnsim: warning: sync-phase launch error (first recorded; count in workload_sync_errors_total): %v\n", tr.FirstErr)
 	}
 	if ib := c.Net.Inband(); ib != nil && ib.Dropped() > 0 {
 		fmt.Fprintf(os.Stderr, "hpnsim: warning: in-band collector dropped %d per-hop records (cap reached); inband.tsv under-reports — raise InbandMax\n", ib.Dropped())

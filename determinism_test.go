@@ -167,6 +167,161 @@ func TestGoldenDeterminismParallelFill(t *testing.T) {
 	}
 }
 
+// memoArtifacts runs a steady-state training simulation with full
+// instrumentation (flow log, trace, in-band, health) and iteration
+// memoization on or off, returning the golden artifact set plus the memo
+// recorder's stats. Periodic sampling is disabled on BOTH sides: the
+// sampler's 10ms daemon tick would land inside every candidate window and
+// block memoization, and the off side must run the identical configuration
+// for the byte comparison to mean anything.
+func memoArtifacts(t *testing.T, memoOn bool, iters int, tune ...func(c *Cluster)) (map[string][]byte, MemoStats) {
+	t.Helper()
+	opt := DefaultTelemetryOptions()
+	opt.Inband = true
+	opt.Health = true
+	opt.SampleInterval = 0
+	opt.Memo = memoOn
+	hub := NewTelemetryHub(opt)
+	c, err := NewHPN(SmallHPN(1, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableTelemetry(hub)
+	c.Net.EnableFlowLog(0)
+	for _, fn := range tune {
+		fn(c)
+	}
+
+	hosts, err := c.PlaceJob(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(LLaMa13B, Parallelism{TP: 8, PP: 1, DP: 8}, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(iters); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	if tr.Iterations != iters {
+		t.Fatalf("completed %d iterations, want %d", tr.Iterations, iters)
+	}
+
+	m := HealthMonitorOf(c)
+	if m == nil {
+		t.Fatal("health monitor not attached despite Options.Health")
+	}
+	var stats MemoStats
+	if rec := MemoRecorderOf(c); rec != nil {
+		stats = rec.Stats()
+	} else if memoOn {
+		t.Fatal("memo recorder not attached despite Options.Memo")
+	}
+
+	out := map[string][]byte{}
+	capture := func(name string, write func(w io.Writer) error) {
+		var b bytes.Buffer
+		if err := write(&b); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = b.Bytes()
+	}
+	capture("flowlog.tsv", c.Net.WriteFlowLog)
+	capture("trace.json", func(w io.Writer) error { _, err := hub.Tracer.WriteTo(w); return err })
+	capture("inband.tsv", c.Net.Inband().WriteTSV)
+	capture("inband.json", c.Net.Inband().WriteJSON)
+	capture("incidents.tsv", m.WriteTSV)
+	capture("incidents.json", m.WriteJSON)
+	return out, stats
+}
+
+// TestGoldenDeterminismMemo is the memoization differential gate: a run
+// that fast-forwards most of its iterations from the recorded window must
+// produce artifacts byte-identical to the run that simulates every one.
+func TestGoldenDeterminismMemo(t *testing.T) {
+	const iters = 8
+	off, _ := memoArtifacts(t, false, iters)
+	on, stats := memoArtifacts(t, true, iters)
+
+	if stats.Replayed < iters-3 {
+		t.Errorf("replayed %d of %d iterations, want at least %d (hits=%d misses=%d blocked=%d)",
+			stats.Replayed, iters, iters-3, stats.Hits, stats.Misses, stats.Blocked)
+	}
+	if flow := off["flowlog.tsv"]; len(flow) == 0 || bytes.Count(flow, []byte("\n")) < 2 {
+		t.Fatal("flow log is empty; the run recorded no flows")
+	}
+	for _, name := range goldenArtifactNames {
+		if line, a, b := firstDivergence(off[name], on[name]); line != 0 {
+			t.Errorf("%s diverges between memo-off and memo-on at line %d:\n  off: %s\n  on:  %s",
+				name, line, a, b)
+		}
+	}
+}
+
+// TestGoldenDeterminismMemoParallelFill crosses the memo gate with the
+// allocator's parallel mode: replayed windows recorded under parallel
+// component filling must still match the serial memo-off bytes.
+func TestGoldenDeterminismMemoParallelFill(t *testing.T) {
+	const iters = 8
+	parallel := func(c *Cluster) {
+		c.Net.ParallelFill = 4
+		c.Net.ParallelFillMinFlows = 1
+	}
+	off, _ := memoArtifacts(t, false, iters)
+	on, stats := memoArtifacts(t, true, iters, parallel)
+
+	if stats.Replayed < iters-3 {
+		t.Errorf("replayed %d of %d iterations under parallel fill, want at least %d",
+			stats.Replayed, iters, iters-3)
+	}
+	for _, name := range goldenArtifactNames {
+		if line, a, b := firstDivergence(off[name], on[name]); line != 0 {
+			t.Errorf("%s diverges between serial memo-off and parallel memo-on at line %d:\n  off: %s\n  on:  %s",
+				name, line, a, b)
+		}
+	}
+}
+
+// TestGoldenDeterminismMemoInvalidation injects a mid-run link flap into a
+// memoized run: the failure must drop the cache (invalidation), the flap
+// handling must re-simulate, memoization must re-warm afterwards, and the
+// artifacts must still match the memo-off run with the identical flap.
+// Iterations run ~1s of virtual time each and the flap detector keeps its
+// 10s window armed after the transition, so the run is long enough for the
+// detectors to go quiet and memoization to resume.
+func TestGoldenDeterminismMemoInvalidation(t *testing.T) {
+	const iters = 24
+	flap := func(c *Cluster) {
+		lk := c.Topo.AccessLink(0, 0, 0)
+		c.Eng.ScheduleAt(50*sim.Millisecond, func() { c.Net.FailCable(lk) })
+		c.Eng.ScheduleAt(120*sim.Millisecond, func() { c.Net.RecoverCable(lk) })
+	}
+	off, _ := memoArtifacts(t, false, iters, flap)
+	on, stats := memoArtifacts(t, true, iters, flap)
+
+	if stats.Invalidations == 0 {
+		t.Error("link flap caused no memo invalidation; the cache survived a fabric transition")
+	}
+	if stats.Replayed < 2 {
+		t.Errorf("replayed only %d iterations around the flap, want memoization to re-warm (hits=%d misses=%d blocked=%d invalidations=%d)",
+			stats.Replayed, stats.Hits, stats.Misses, stats.Blocked, stats.Invalidations)
+	}
+	if bytes.Count(on["incidents.tsv"], []byte("\n")) < 2 {
+		t.Fatal("incidents TSV has no rows; the flap was not detected")
+	}
+	for _, name := range goldenArtifactNames {
+		if line, a, b := firstDivergence(off[name], on[name]); line != 0 {
+			t.Errorf("%s diverges between memo-off and memo-on under a link flap at line %d:\n  off: %s\n  on:  %s",
+				name, line, a, b)
+		}
+	}
+}
+
 // TestGoldenDeterminismDistinctFailures makes sure the gate is not
 // trivially green: changing the injected fault must change the artifacts,
 // proving the byte comparison actually covers failure handling.

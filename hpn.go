@@ -4,6 +4,7 @@ import (
 	"hpn/internal/collective"
 	"hpn/internal/core"
 	"hpn/internal/health"
+	"hpn/internal/memo"
 	"hpn/internal/telemetry"
 	"hpn/internal/topo"
 	"hpn/internal/workload"
@@ -122,6 +123,19 @@ type HealthSummary = health.Summary
 
 // HealthMonitorOf returns the cluster's attached health monitor, or nil.
 func HealthMonitorOf(c *Cluster) *HealthMonitor { return health.MonitorOf(c.Net) }
+
+// Iteration-memoization surface.
+
+// MemoRecorder is the iteration-memoization recorder attached under
+// TelemetryOptions.Memo: steady-state training iterations are fingerprinted
+// and fast-forwarded from a recorded window instead of re-simulated.
+type MemoRecorder = memo.Recorder
+
+// MemoStats is a recorder's hit/miss/invalidation counter snapshot.
+type MemoStats = memo.Stats
+
+// MemoRecorderOf returns the cluster's attached memo recorder, or nil.
+func MemoRecorderOf(c *Cluster) *MemoRecorder { return memo.RecorderOf(c.Net) }
 
 // Telemetry surface.
 

@@ -14,7 +14,9 @@ package collective
 
 import (
 	"fmt"
+	"math"
 
+	"hpn/internal/memo"
 	"hpn/internal/netsim"
 	"hpn/internal/rdma"
 	"hpn/internal/route"
@@ -174,6 +176,43 @@ func (g *Group) Probes() int {
 
 // GPUs returns the number of GPUs in the group.
 func (g *Group) GPUs() int { return len(g.Hosts) * g.Rails }
+
+// ScheduleFingerprint folds the group's static traffic shape into an
+// iteration-memoization fingerprint: membership, ring layout, the config
+// knobs that change chunking or timing, and every established connection's
+// pinned source port and plane. Two iterations launched through groups
+// with equal fingerprints (over equal fabric state) produce identical
+// flow schedules. Dynamic per-connection counters (WQE bytes, sent-byte
+// totals) are excluded: WQEs are always drained at iteration boundaries,
+// and sent-byte totals don't influence dispatch.
+func (g *Group) ScheduleFingerprint(h *memo.Hasher) {
+	h.Mix(uint64(len(g.Hosts)))
+	for _, host := range g.Hosts {
+		h.Mix(uint64(host))
+	}
+	h.Mix(uint64(g.Rails))
+	h.Mix(uint64(g.Cfg.ConnsPerPair))
+	h.Mix(uint64(g.Cfg.ChunksPerMessage))
+	h.Mix(uint64(g.Cfg.Policy))
+	nvls := uint64(0)
+	if g.Cfg.NVLS {
+		nvls = 1
+	}
+	h.Mix(nvls)
+	h.Mix(math.Float64bits(g.Cfg.NVLinkReduceGBps))
+	h.Mix(math.Float64bits(g.Cfg.NVLinkGatherGBps))
+	for _, rail := range g.conns {
+		for _, cs := range rail {
+			if cs == nil {
+				continue
+			}
+			h.Mix(uint64(len(cs.Conns)))
+			for _, cn := range cs.Conns {
+				h.Mix(uint64(cn.Sport)<<8 | uint64(cn.Plane))
+			}
+		}
+	}
+}
 
 // Result reports one collective's outcome.
 type Result struct {

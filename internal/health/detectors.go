@@ -126,7 +126,12 @@ type groupState struct {
 	mass    int
 }
 
-func (m *Monitor) notePath(f *netsim.Flow, hops []route.HopDecision) {
+// notePath streams one routed path's hash decisions into the per-group
+// bucket loads, judging any group whose distinct-tuple mass crosses the
+// floor. now is the caller-observed routing time: during memo replay the
+// engine clock is not yet advanced, so the passed time — not Eng.Now() —
+// must stamp any incident opened here.
+func (m *Monitor) notePath(now sim.Time, f *netsim.Flow, hops []route.HopDecision) {
 	for i := range hops {
 		h := &hops[i]
 		// Per-port Core hashing is deliberately tuple-independent; its
@@ -159,34 +164,43 @@ func (m *Monitor) notePath(f *netsim.Flow, hops []route.HopDecision) {
 		if h.Bucket >= 0 && h.Bucket < len(gs.counts) {
 			gs.counts[h.Bucket]++
 			gs.mass++
+			m.judgePolarization(now, gs)
 		}
 	}
 }
 
-// sweepPolarization judges every group with enough distinct-tuple mass.
+// judgePolarization judges one group if it has enough distinct-tuple mass.
 // The mass floor scales with group size (coupon-collector: a fair hash
 // needs ~k ln k tuples to touch every one of k buckets, so judging early
 // would read sampling noise as starvation).
+func (m *Monitor) judgePolarization(now sim.Time, gs *groupState) {
+	need := m.Cfg.PolarizationMinFlows
+	if scaled := 6 * gs.key.size; scaled > need {
+		need = scaled
+	}
+	if gs.mass < need {
+		return
+	}
+	ratio := hashing.RatioImbalance(gs.counts, m.Cfg.PolarizationCap)
+	if ratio >= m.Cfg.PolarizationRatio {
+		inc := m.openIncident(KindPolarization, gs.subject, now,
+			fmt.Sprintf("ECMP bucket loads skewed over %d members", gs.key.size))
+		inc.Events = gs.mass
+		if ratio > inc.Peak {
+			inc.Peak = ratio
+		}
+		m.armTick()
+	} else {
+		m.closeIncident(KindPolarization, gs.subject, now)
+	}
+}
+
+// sweepPolarization re-judges every group; the streaming path already
+// judges on each new tuple, this keeps open incidents re-evaluated (and
+// closable) on the periodic tick.
 func (m *Monitor) sweepPolarization(now sim.Time) {
 	for _, gs := range m.groupList {
-		need := m.Cfg.PolarizationMinFlows
-		if scaled := 6 * gs.key.size; scaled > need {
-			need = scaled
-		}
-		if gs.mass < need {
-			continue
-		}
-		ratio := hashing.RatioImbalance(gs.counts, m.Cfg.PolarizationCap)
-		if ratio >= m.Cfg.PolarizationRatio {
-			inc := m.openIncident(KindPolarization, gs.subject, now,
-				fmt.Sprintf("ECMP bucket loads skewed over %d members", gs.key.size))
-			inc.Events = gs.mass
-			if ratio > inc.Peak {
-				inc.Peak = ratio
-			}
-		} else {
-			m.closeIncident(KindPolarization, gs.subject, now)
-		}
+		m.judgePolarization(now, gs)
 	}
 }
 
@@ -235,6 +249,9 @@ func (m *Monitor) noteCompletion(now sim.Time, f *netsim.Flow) {
 	cs.times = append(cs.times, now)
 	cs.last = now
 	cs.pruneDegraded(now, m.Cfg.DegradedWindow)
+	// A degraded completion starts windowed state that must drain (and
+	// possibly an incident that must close): keep the sweep running.
+	m.armTick()
 	if len(cs.times) < m.Cfg.DegradedMinFlows {
 		return
 	}
@@ -258,9 +275,12 @@ func (cs *classState) pruneDegraded(now sim.Time, window sim.Time) {
 }
 
 // sweepThroughput closes class incidents once degraded completions stop
-// arriving for a full window.
+// arriving for a full window. Expired degraded timestamps are pruned even
+// without an open incident, so a sub-threshold burst drains and lets the
+// demand-armed tick disarm.
 func (m *Monitor) sweepThroughput(now sim.Time) {
 	for _, cs := range m.classList {
+		cs.pruneDegraded(now, m.Cfg.DegradedWindow)
 		if _, open := m.openIdx[incKey{KindThroughput, cs.subject}]; open && now-cs.last >= m.Cfg.DegradedWindow {
 			m.closeIncident(KindThroughput, cs.subject, now)
 			cs.times = cs.times[:0]

@@ -186,6 +186,13 @@ type Monitor struct {
 	// reroutes counts reroute passes seen, for per-iteration attribution.
 	reroutes int
 
+	// tickArmed tracks whether a sweep tick is scheduled. Ticks are armed
+	// on demand (fabric events, stalled or degraded flows, open incidents)
+	// and disarm once every detector is quiet, so a healthy steady-state
+	// run schedules no events at all — which is what lets iteration
+	// memoization fast-forward over it (see internal/memo).
+	tickArmed bool
+
 	// Attribution state (see attribution.go).
 	iters       []IterationReport
 	lastIterEnd sim.Time
@@ -197,9 +204,11 @@ type Monitor struct {
 }
 
 // Attach builds a monitor over the simulator, installs it as the fabric
-// observer, arms its periodic sweep on the engine, and (when the simulator
-// carries a registry) registers the "incidents.tsv"/"incidents.json"
-// artifact exporters plus health metrics under the simulator's prefix.
+// observer, and (when the simulator carries a registry) registers the
+// "incidents.tsv"/"incidents.json" artifact exporters plus health metrics
+// under the simulator's prefix. The periodic sweep is demand-armed: the
+// first fabric event (transition, reroute, stalled or degraded flow)
+// schedules it, and it disarms again once every detector is quiet.
 func Attach(net *netsim.Sim, cfg Config) *Monitor {
 	cfg.fillDefaults()
 	m := &Monitor{
@@ -219,20 +228,65 @@ func Attach(net *netsim.Sim, cfg Config) *Monitor {
 		net.Reg.RegisterExporter(p+"incidents.tsv", m.WriteTSV)
 		net.Reg.RegisterExporter(p+"incidents.json", m.WriteJSON)
 	}
-	var tick func()
-	tick = func() {
-		m.sweep(m.Net.Eng.Now())
-		m.Net.Eng.ScheduleDaemon(m.Cfg.Tick, tick)
-	}
-	net.Eng.ScheduleDaemon(m.Cfg.Tick, tick)
 	return m
 }
 
+// armTick schedules the next detector sweep unless one is already pending.
+func (m *Monitor) armTick() {
+	if m.tickArmed {
+		return
+	}
+	m.tickArmed = true
+	m.Net.Eng.ScheduleDaemon(m.Cfg.Tick, m.tick)
+}
+
+// tick runs one sweep and re-arms while any detector still has state to
+// advance or an incident to close.
+func (m *Monitor) tick() {
+	m.tickArmed = false
+	m.sweep(m.Net.Eng.Now())
+	if m.needsTick() {
+		m.armTick()
+	}
+}
+
+// needsTick reports whether any detector still needs periodic sweeps:
+// open incidents await their quiet-window close, stall tracking polls the
+// fabric, and windowed transition/degradation histories must drain before
+// the monitor can go fully idle.
+func (m *Monitor) needsTick() bool {
+	if m.OpenIncidents() > 0 || m.stalling || m.Net.StalledFlows() > 0 {
+		return true
+	}
+	for _, fs := range m.flapList {
+		if len(fs.times) > 0 {
+			return true
+		}
+	}
+	for _, cs := range m.classList {
+		if len(cs.times) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // MonitorOf returns the monitor attached to the simulator, or nil if the
-// fabric observer is absent or something else.
+// fabric observer is absent or something else. Wrapping observers (the
+// memo recorder) are unwrapped through their Inner chain.
 func MonitorOf(net *netsim.Sim) *Monitor {
-	m, _ := net.Observer().(*Monitor)
-	return m
+	o := net.Observer()
+	for o != nil {
+		if m, ok := o.(*Monitor); ok {
+			return m
+		}
+		u, ok := o.(interface{ Inner() netsim.Observer })
+		if !ok {
+			return nil
+		}
+		o = u.Inner()
+	}
+	return nil
 }
 
 // Incidents returns the incident list in detection order (shared slice;
@@ -303,24 +357,32 @@ func (m *Monitor) linkSubject(l topo.LinkID) string {
 // LinkEvent feeds the flap detector.
 func (m *Monitor) LinkEvent(now sim.Time, l topo.LinkID, up bool) {
 	m.noteTransition(now, m.linkSubject(l), up)
+	m.armTick()
 }
 
 // NodeEvent feeds node transitions into the same flap detector, keyed by
 // switch name.
 func (m *Monitor) NodeEvent(now sim.Time, n topo.NodeID, up bool) {
 	m.noteTransition(now, m.Net.Top.Node(n).Name, up)
+	m.armTick()
 }
 
 // RerouteDone counts passes for attribution; stall recovery itself is
-// observed by the sweep.
+// observed by the sweep (armed here, since a reroute either resolves a
+// stall or leaves one to keep watching).
 func (m *Monitor) RerouteDone(now sim.Time, repathed, stillStalled int) {
 	m.reroutes++
+	m.armTick()
 }
 
 // FlowRouted feeds the polarization detector with the path's hash
-// decisions.
+// decisions. A flow routed into a blackhole arms the sweep so the stall
+// detector starts its clock even when no transition was observed.
 func (m *Monitor) FlowRouted(now sim.Time, f *netsim.Flow, hops []route.HopDecision) {
-	m.notePath(f, hops)
+	m.notePath(now, f, hops)
+	if f.Stalled {
+		m.armTick()
+	}
 }
 
 // FlowDone feeds the degraded-throughput detector.
@@ -329,6 +391,17 @@ func (m *Monitor) FlowDone(now sim.Time, f *netsim.Flow) {
 }
 
 var _ netsim.Observer = (*Monitor)(nil)
+
+// LiveMetricNames names the registry counters this observer increments
+// from inside its callbacks. The memo recorder excludes them from a
+// recorded window's metrics delta: replay re-feeds the callbacks, so the
+// increments happen live and would otherwise be double-counted.
+func (m *Monitor) LiveMetricNames() []string {
+	if m.Net.Reg == nil {
+		return nil
+	}
+	return []string{m.Net.MetricsPrefix + "health_incidents_total"}
+}
 
 // fmtPct renders a fraction as "+31%" / "-5%".
 func fmtPct(frac float64) string {

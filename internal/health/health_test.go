@@ -145,7 +145,7 @@ func TestPolarizationDetector(t *testing.T) {
 	feed := func(n, bucket int, base uint16) {
 		for i := 0; i < n; i++ {
 			f := &netsim.Flow{Tuple: hashing.FiveTuple{SrcPort: base + uint16(i), DstPort: uint16(bucket)}}
-			m.notePath(f, []route.HopDecision{
+			m.notePath(0, f, []route.HopDecision{
 				{Link: up, Node: tor, Hashed: true, Group: 4, Bucket: bucket},
 			})
 		}
@@ -192,7 +192,7 @@ func TestPolarizationIgnoresNonSignalHops(t *testing.T) {
 	_, net, m := newMonitor(t, true)
 	tor, up := torUplink(t, net.Top)
 	f := &netsim.Flow{Tuple: hashing.FiveTuple{SrcPort: 7}}
-	m.notePath(f, []route.HopDecision{
+	m.notePath(0, f, []route.HopDecision{
 		{Link: up, Node: tor, Hashed: false, Group: 4, Bucket: 0},
 		{Link: up, Node: tor, Hashed: true, PerPort: true, Group: 4, Bucket: 0},
 		{Link: up, Node: tor, Hashed: true, Fallback: true, Group: 4, Bucket: 0},

@@ -104,6 +104,20 @@ func (c *Collector) Records() []Record { return c.recs }
 // Dropped returns how many records were discarded past the cap.
 func (c *Collector) Dropped() int { return c.dropped }
 
+// AppendReplayed appends pre-shifted records from a memoized window,
+// honoring the retention cap exactly as live flushes do. No trace instant
+// is emitted here: the replayed trace stream already carries the original
+// path_flush events.
+func (c *Collector) AppendReplayed(recs []Record) {
+	for i := range recs {
+		if c.max > 0 && len(c.recs) >= c.max {
+			c.dropped += len(recs) - i
+			return
+		}
+		c.recs = append(c.recs, recs[i])
+	}
+}
+
 // FlushFlow closes one path generation of a flow: it appends one Record
 // per hop, labeling each link from the topology and copying the per-hop
 // accumulators. hops, bits and queueBS are parallel to the path walked;

@@ -102,6 +102,33 @@ func flushSortedIsClean(m map[int][]hopRecord) []hopRecord {
 	return stream
 }
 
+// fingerprintInputs mimics building an iteration-memoization fingerprint
+// from per-connection state held in a map: feeding the hash words in map
+// order makes the fingerprint differ between identical runs, so every
+// memo lookup misses and nothing ever fast-forwards.
+func fingerprintInputs(conns map[string]uint64) []uint64 {
+	var words []uint64
+	for _, w := range conns { // want:maporder "surviving slice words"
+		words = append(words, w)
+	}
+	return words
+}
+
+// fingerprintSortedIsClean folds connection state into the hash in sorted
+// key order: the same state always yields the same fingerprint.
+func fingerprintSortedIsClean(conns map[string]uint64) uint64 {
+	names := make([]string, 0, len(conns))
+	for n := range conns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := uint64(14695981039346656037)
+	for _, n := range names {
+		h = (h ^ conns[n]) * 1099511628211
+	}
+	return h
+}
+
 // histogramReductionIsClean is the analyzer side of the in-band pipeline:
 // folding records grouped by flow into bucket histograms is an
 // order-independent reduction, however the map is walked.

@@ -267,3 +267,29 @@ func (e *Engine) NextAt() (Time, bool) {
 	}
 	return ev.at, true
 }
+
+// Seq returns the sequence cursor: the number of events sequenced so far.
+// schedule and Reschedule stamp this into every event as the same-instant
+// tie-breaker, so the delta between two readings is exactly how many
+// sequence numbers a window of simulation consumed. Iteration memoization
+// records that delta and credits it back through FastForward, keeping
+// post-replay event ordering identical to a re-simulated run.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// FastForward advances the clock to at without dispatching anything,
+// crediting seqDelta sequence numbers and processedDelta dispatched events
+// as if the skipped window had actually run. It refuses to jump over
+// pending work — an event scheduled before at would be silently reordered
+// — and over the past. Iteration memoization calls this after applying a
+// recorded window's effects; nothing else should.
+func (e *Engine) FastForward(at Time, seqDelta, processedDelta uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: fast-forward to %v before now %v", at, e.now))
+	}
+	if ev := e.peek(); ev != nil && ev.at < at {
+		panic(fmt.Sprintf("sim: fast-forward to %v over pending event at %v", at, ev.at))
+	}
+	e.now = at
+	e.seq += seqDelta
+	e.Processed += processedDelta
+}

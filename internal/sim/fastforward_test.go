@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+func TestFastForwardAdvancesClockAndCredits(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	seq0, proc0 := e.Seq(), e.Processed
+
+	e.FastForward(100, 7, 3)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v after fast-forward, want 100", e.Now())
+	}
+	if e.Seq() != seq0+7 {
+		t.Fatalf("Seq = %d, want %d", e.Seq(), seq0+7)
+	}
+	if e.Processed != proc0+3 {
+		t.Fatalf("Processed = %d, want %d", e.Processed, proc0+3)
+	}
+
+	// Events scheduled after the jump run at the shifted instant.
+	var at Time
+	e.Schedule(5, func() { at = e.Now() })
+	e.Run()
+	if at != 105 {
+		t.Fatalf("post-jump event ran at %v, want 105", at)
+	}
+}
+
+func TestFastForwardToNowIsAllowed(t *testing.T) {
+	e := New()
+	e.FastForward(0, 1, 1)
+	if e.Seq() != 1 || e.Processed != 1 {
+		t.Fatalf("seq=%d processed=%d, want 1,1", e.Seq(), e.Processed)
+	}
+}
+
+func TestFastForwardRefusesPendingJump(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fast-forward over a pending event did not panic")
+		}
+	}()
+	e.FastForward(20, 0, 0)
+}
+
+func TestFastForwardRefusesPast(t *testing.T) {
+	e := New()
+	e.Schedule(50, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fast-forward into the past did not panic")
+		}
+	}()
+	e.FastForward(10, 0, 0)
+}

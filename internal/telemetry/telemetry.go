@@ -36,6 +36,12 @@ type Options struct {
 	// per-iteration attribution, exported as the "incidents.tsv" and
 	// "incidents.json" artifacts (rendered by hpndoctor).
 	Health bool
+	// Memo attaches the iteration-memoization recorder to each cluster:
+	// repeated training iterations are fingerprinted and fast-forwarded
+	// from a recorded window instead of re-simulated (see internal/memo).
+	// Incompatible with periodic sampling — the sampler's tick would land
+	// inside every window; runners force SampleInterval to 0 under -memo.
+	Memo bool
 }
 
 // DefaultOptions enables tracing and a 10ms-virtual-time sampler keeping

@@ -30,6 +30,7 @@ const (
 	TidWorkload       = 4
 	TidFailure        = 5
 	TidInband         = 6
+	TidMemo           = 7
 	TidCollectiveBase = 16
 )
 
@@ -56,6 +57,12 @@ type traceCore struct {
 type Tracer struct {
 	core *traceCore
 	pid  int
+	// hook, when set, observes every event emitted through this view
+	// before it reaches the shared buffer (and before the event cap is
+	// applied, so capture sees exactly what the emitter sent). Replay via
+	// Emit bypasses the hook, so a recorder never captures its own
+	// re-emissions.
+	hook func(ph byte, tsNS, durNS int64, cat, name string, tid int, args []Arg)
 }
 
 // NewTracer returns a tracer for pid 1 with the given event cap
@@ -175,6 +182,26 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
+// SetHook installs (or, with nil, removes) the capture hook for this view.
+// The hook runs synchronously on the emitting goroutine; it must not call
+// back into the tracer except through Emit. Nil-safe.
+func (t *Tracer) SetHook(fn func(ph byte, tsNS, durNS int64, cat, name string, tid int, args []Arg)) {
+	if t == nil {
+		return
+	}
+	t.hook = fn
+}
+
+// Emit appends one raw event, bypassing the capture hook. It applies the
+// same event cap as live emission, so a replayed stream drops (or keeps)
+// exactly the events the original run would have. Nil-safe.
+func (t *Tracer) Emit(ph byte, tsNS, durNS int64, cat, name string, tid int, args []Arg) {
+	if t == nil {
+		return
+	}
+	t.record(ph, tsNS, durNS, cat, name, tid, args)
+}
+
 // meta emits a metadata ("M") record; tid < 0 omits the tid field.
 func (t *Tracer) meta(kind string, tid int, name string) {
 	t.core.mu.Lock()
@@ -193,9 +220,18 @@ func (t *Tracer) meta(kind string, tid int, name string) {
 	t.core.events++
 }
 
-// emit appends one event record under the core lock. durNS < 0 omits the
-// "dur" field (instants, counters).
+// emit routes one live event through the capture hook (if any) and into
+// the buffer.
 func (t *Tracer) emit(ph byte, tsNS, durNS int64, cat, name string, tid int, args []Arg) {
+	if t.hook != nil {
+		t.hook(ph, tsNS, durNS, cat, name, tid, args)
+	}
+	t.record(ph, tsNS, durNS, cat, name, tid, args)
+}
+
+// record appends one event record under the core lock. durNS < 0 omits the
+// "dur" field (instants, counters).
+func (t *Tracer) record(ph byte, tsNS, durNS int64, cat, name string, tid int, args []Arg) {
 	c := t.core
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -2,8 +2,10 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"hpn/internal/collective"
+	"hpn/internal/memo"
 	"hpn/internal/metrics"
 	"hpn/internal/netsim"
 	"hpn/internal/route"
@@ -109,17 +111,35 @@ type Trainer struct {
 	// disables PP traffic (PP=1 jobs have none anyway).
 	MicrobatchesPerIteration int
 
-	stopAfter  int
-	running    bool
-	phaseStart sim.Time
-	ctrIters   *telemetry.Counter
-	histComm   *telemetry.Histogram
+	// FirstErr records the first collective/flow launch error of the run.
+	// Launch errors don't abort the iteration (the remaining groups still
+	// synchronize, matching a job limping on without one ring), but they
+	// must not vanish either: every one counts into
+	// workload_sync_errors_total and the first is kept for the caller to
+	// surface after the run.
+	FirstErr error
+
+	stopAfter   int
+	running     bool
+	phaseStart  sim.Time
+	ctrIters    *telemetry.Counter
+	ctrSyncErrs *telemetry.Counter
+	histComm    *telemetry.Histogram
+
+	// memo, when set, memoizes iteration windows: syncPhase fast-forwards
+	// over cache hits and records misses (see internal/memo).
+	memo       *memo.Recorder
+	scheduleFP uint64
+	fpCached   bool
 }
 
 // NewTrainer builds collective groups for the job over the fabric.
 func NewTrainer(net *netsim.Sim, job *Job, cfg collective.Config) (*Trainer, error) {
 	t := &Trainer{Net: net, Job: job, Cfg: cfg, MicrobatchesPerIteration: 8}
 	t.ctrIters = net.Reg.Counter(net.MetricsPrefix+"workload_iterations_total", "completed training iterations")
+	t.ctrSyncErrs = net.Reg.Counter(net.MetricsPrefix+"workload_sync_errors_total",
+		"collective/flow launch errors during gradient sync")
+	t.memo = memo.RecorderOf(net)
 	// 1ms .. 65s in octaves: healthy gradient syncs cluster low, incidents
 	// push iterations into the top buckets.
 	t.histComm = net.Reg.Histogram(net.MetricsPrefix+"workload_comm_seconds",
@@ -168,14 +188,42 @@ func (t *Trainer) beginIteration() {
 // syncPhase launches gradient synchronization on every DP group
 // concurrently: Multi-AllReduce when TP fills the host (all traffic
 // inter-host), hierarchical AllReduce otherwise.
+//
+// With a memo recorder attached, each syncPhase entry is a memoization
+// window boundary. The entry first finalizes the window begun by the
+// previous iteration, then — as long as cached windows keep matching the
+// current fabric state — fast-forwards whole iterations via replay. The
+// loop stops on a cache miss (that iteration simulates live and records a
+// fresh window) or when only the final iteration remains: the last one is
+// always simulated so the run ends on a live, fully-settled engine.
 func (t *Trainer) syncPhase() {
 	start := t.Net.Eng.Now()
-	if t.Net.Trace != nil {
-		t.Net.Trace.Complete(int64(t.phaseStart), int64(start-t.phaseStart),
-			"workload", "compute", telemetry.TidWorkload,
-			telemetry.Arg{K: "iter", V: t.Iterations + 1})
+	t.memo.FinalizeRecord()
+	record := false
+	var fp uint64
+	for {
+		if t.Net.Trace != nil {
+			t.Net.Trace.Complete(int64(t.phaseStart), int64(start-t.phaseStart),
+				"workload", "compute", telemetry.TidWorkload,
+				telemetry.Arg{K: "iter", V: t.Iterations + 1})
+		}
+		t.phaseStart = start
+		if t.memo == nil || t.stopAfter-t.Iterations < 2 {
+			break
+		}
+		fp = t.iterFingerprint()
+		w := t.memo.Lookup(fp)
+		if w == nil {
+			record = true
+			break
+		}
+		t.memo.Replay(w, t.completeIterationReplay)
+		start = t.Net.Eng.Now()
 	}
-	t.phaseStart = start
+	if record {
+		t.memo.BeginRecord(fp)
+	}
+
 	pending := len(t.groups)
 	bytes := t.Job.GradientSyncBytes()
 	done := func(now sim.Time, _ collective.Result) {
@@ -183,7 +231,7 @@ func (t *Trainer) syncPhase() {
 		if pending > 0 {
 			return
 		}
-		t.completeIteration(now - start)
+		t.completeIteration(now - t.phaseStart)
 	}
 	for _, g := range t.groups {
 		var err error
@@ -194,17 +242,22 @@ func (t *Trainer) syncPhase() {
 		}
 		if err != nil {
 			pending--
+			t.noteSyncErr(err)
 		}
 	}
 
 	// Pipeline-parallel Send/Recv across stage boundaries: small volumes
 	// (Table 3: ~6MB per send), exchanged in both directions (activations
 	// forward, gradients backward). These are the only flows that may
-	// cross pods under the §7 placement policy.
+	// cross pods under the §7 placement policy. Source ports are pinned per
+	// (pair, rail, direction) — modeling the persistent QPs a real job
+	// keeps — so every iteration hashes onto the same paths; letting the
+	// fabric auto-assign would drift the sport cursor and make iterations
+	// aperiodic, defeating memoization.
 	if t.Job.Par.PP > 1 && t.MicrobatchesPerIteration > 0 {
 		ppBytes := PPVolume(t.Job.Model) * float64(t.MicrobatchesPerIteration)
 		ppDone := func(now sim.Time, _ *netsim.Flow) { done(now, collective.Result{}) }
-		for _, pair := range t.Job.PPPairs() {
+		for pi, pair := range t.Job.PPPairs() {
 			for r := 0; r < 8; r++ {
 				for dir := 0; dir < 2; dir++ {
 					a, b := pair[0], pair[1]
@@ -216,10 +269,11 @@ func (t *Trainer) syncPhase() {
 						route.Endpoint{Host: a, NIC: r},
 						route.Endpoint{Host: b, NIC: r},
 						ppBytes,
-						netsim.FlowOpts{SrcPort: -1, OnComplete: ppDone},
+						netsim.FlowOpts{SrcPort: -1, Sport: ppSport(pi, r, dir), OnComplete: ppDone},
 					)
 					if err != nil {
 						pending--
+						t.noteSyncErr(err)
 					}
 				}
 			}
@@ -230,21 +284,96 @@ func (t *Trainer) syncPhase() {
 	}
 }
 
+// ppSport pins the transport source port of a pipeline-parallel send,
+// keyed by the deterministic PPPairs order. The 28000+ range sits above
+// the collective library's establishment sweep (20000+) and below
+// netsim's auto-assign cursor (49152+), so pinned PP flows collide with
+// neither.
+func ppSport(pairIdx, rail, dir int) uint16 {
+	return uint16(28000 + (pairIdx*16+rail*2+dir)%20000)
+}
+
+// noteSyncErr records a launch error without aborting the iteration.
+func (t *Trainer) noteSyncErr(err error) {
+	if t.FirstErr == nil {
+		t.FirstErr = err
+	}
+	t.ctrSyncErrs.Inc()
+}
+
+// iterFingerprint keys the upcoming iteration's window: the cached static
+// schedule fingerprint (collective membership/connections, PP pairing,
+// volumes) mixed with the fabric's live state hash.
+func (t *Trainer) iterFingerprint() uint64 {
+	if !t.fpCached {
+		h := memo.NewHasher()
+		h.Mix(uint64(len(t.groups)))
+		for _, g := range t.groups {
+			g.ScheduleFingerprint(h)
+		}
+		h.Mix(uint64(t.Job.Par.TP))
+		h.Mix(uint64(t.Job.Par.PP))
+		h.Mix(uint64(t.MicrobatchesPerIteration))
+		h.Mix(math.Float64bits(t.Job.GradientSyncBytes()))
+		h.Mix(math.Float64bits(PPVolume(t.Job.Model)))
+		for pi, pair := range t.Job.PPPairs() {
+			h.Mix(uint64(pi))
+			h.Mix(uint64(pair[0]))
+			h.Mix(uint64(pair[1]))
+		}
+		t.scheduleFP = h.Sum()
+		t.fpCached = true
+	}
+	h := memo.NewHasher()
+	h.Mix(t.scheduleFP)
+	h.Mix(t.Net.StateHash64())
+	return h.Sum()
+}
+
+// AttachMemo installs (or, with nil, removes) the memo recorder driving
+// syncPhase's record/replay. NewTrainer picks up a recorder already
+// attached to the fabric automatically; this override exists for tests
+// and for recorders attached after the trainer was built.
+func (t *Trainer) AttachMemo(r *memo.Recorder) { t.memo = r }
+
 func (t *Trainer) completeIteration(comm sim.Time) {
 	now := t.Net.Eng.Now()
+	// The bookkeeping below is the window's "live section": its output
+	// (iteration numbers, cumulative series) differs every iteration, so
+	// replay re-executes it rather than replaying it from the cache.
+	t.memo.BeginLive(now, comm.Seconds())
+	t.finishIteration(now, comm.Seconds())
+	t.memo.EndLive()
+	t.beginIteration()
+}
+
+// completeIterationReplay is the live section of a replayed window: the
+// same per-iteration bookkeeping, at the recorded completion instant, but
+// no compute scheduling — the replay loop in syncPhase continues directly
+// at the window's end.
+func (t *Trainer) completeIterationReplay(now sim.Time, commS float64) {
+	t.finishIteration(now, commS)
+	t.phaseStart = now
+}
+
+// finishIteration is one iteration's completion bookkeeping, shared by
+// live and replayed iterations. now is the gradient-sync completion
+// instant — during replay the engine clock still reads the window start,
+// so it must never consult Eng.Now().
+func (t *Trainer) finishIteration(now sim.Time, commS float64) {
 	t.Iterations++
 	t.ctrIters.Inc()
 	m := t.Job.Model
-	iter := IterationSeconds(m, t.Job.Par.GPUs(), comm.Seconds())
+	iter := IterationSeconds(m, t.Job.Par.GPUs(), commS)
 	sps := SamplesPerSecond(m, t.Job.Par.GPUs(), iter)
 	t.Perf.Add(now.Seconds(), sps)
-	t.CommSeconds.Add(now.Seconds(), comm.Seconds())
-	t.histComm.Observe(comm.Seconds())
+	t.CommSeconds.Add(now.Seconds(), commS)
+	t.histComm.Observe(commS)
 	if t.Net.Trace != nil {
 		t.Net.Trace.Complete(int64(t.phaseStart), int64(now-t.phaseStart),
 			"workload", "grad_sync", telemetry.TidWorkload,
 			telemetry.Arg{K: "iter", V: t.Iterations},
-			telemetry.Arg{K: "comm_s", V: comm.Seconds()})
+			telemetry.Arg{K: "comm_s", V: commS})
 		t.Net.Trace.Instant(int64(now), "workload", "iteration", telemetry.TidWorkload,
 			telemetry.Arg{K: "iter", V: t.Iterations},
 			telemetry.Arg{K: "samples_per_s", V: sps})
@@ -252,7 +381,6 @@ func (t *Trainer) completeIteration(comm sim.Time) {
 	if t.OnIteration != nil {
 		t.OnIteration(t.Iterations, now)
 	}
-	t.beginIteration()
 }
 
 // Running reports whether iterations remain scheduled.
