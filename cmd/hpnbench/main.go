@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -261,11 +262,18 @@ func metricSum(hub *hpn.TelemetryHub, suffix string) float64 {
 	if err := json.Unmarshal([]byte(b.String()), &metrics); err != nil {
 		return 0
 	}
-	var total float64
-	for name, v := range metrics {
+	// Sum in sorted name order: float addition is not associative, so a
+	// map-order reduction would drift bitwise between same-seed runs.
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
 		if strings.HasSuffix(name, suffix) {
-			total += v
+			names = append(names, name)
 		}
+	}
+	sort.Strings(names)
+	var total float64
+	for _, name := range names {
+		total += metrics[name]
 	}
 	return total
 }

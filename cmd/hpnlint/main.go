@@ -1,17 +1,24 @@
 // Command hpnlint is the repo's determinism and invariant linter: a
-// stdlib-only static-analysis suite (go/parser + go/types) enforcing the
-// simulator's reproducibility contract — no wall-clock reads, no global
-// math/rand, no map-order leaks into ordered output, no exact float
-// equality, and nil-guarded telemetry emission.
+// stdlib-only static-analysis suite (go/parser + go/types) that builds a
+// module-wide call graph, computes per-function dataflow summaries to a
+// fixpoint, and enforces the simulator's reproducibility contract — no
+// wall-clock reads, no global math/rand, no map-order leaks into ordered
+// output (directly or through any call chain), no exact float equality,
+// nil-guarded telemetry/observer emission, order-stable goroutine merges,
+// order-stable float reduction, engine-cursor record stamping, and no
+// stale allow directives.
 //
 // Usage:
 //
-//	hpnlint ./...            # lint every package in the module
-//	hpnlint ./internal/...   # lint a subtree
-//	hpnlint -rules           # list rules and what they catch
+//	hpnlint ./...               # lint every package in the module
+//	hpnlint ./internal/...      # lint a subtree (summaries still span imports)
+//	hpnlint -json ./...         # machine-readable findings with taint chains
+//	hpnlint -fix-allows ./...   # delete stale //hpnlint:allow directives
+//	hpnlint -budget 10s ./...   # fail if the analysis exceeds the budget
+//	hpnlint -rules              # list rules and what they catch
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure. Intentional
-// exceptions are annotated in source:
+// Exit status: 0 clean, 1 findings, 2 usage or load failure, 3 budget
+// exceeded. Intentional exceptions are annotated in source:
 //
 //	//hpnlint:allow <rule>[,<rule>] -- <justification>
 package main
@@ -22,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hpn/internal/lint"
 )
@@ -30,9 +38,12 @@ func main() {
 	var (
 		listRules = flag.Bool("rules", false, "list rules and exit")
 		strict    = flag.Bool("strict", false, "treat type-check warnings as failures")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array with taint chains")
+		fixAllows = flag.Bool("fix-allows", false, "delete stale //hpnlint:allow directives in place")
+		budget    = flag.Duration("budget", 0, "fail (exit 3) if load+analysis exceeds this duration")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hpnlint [-rules] [-strict] ./... | dir ...\n")
+		fmt.Fprintf(os.Stderr, "usage: hpnlint [-rules] [-strict] [-json] [-fix-allows] [-budget 10s] ./... | dir ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,6 +58,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// The budget clock measures the linter itself, so it legitimately reads
+	// the wall clock — the thing it forbids in simulator code.
+	start := time.Now() //hpnlint:allow wallclock -- lint runtime budget, not sim state
 
 	root, module, err := lint.FindModuleRoot(".")
 	if err != nil {
@@ -80,19 +95,65 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(loader.Fset, loader.Info, pkgs, lint.AllRules())
-	for _, d := range diags {
-		// Positions relative to the module root keep output stable across
-		// checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	// Summaries are computed over everything the loader pulled in (the
+	// requested packages plus their module-internal imports), so linting a
+	// subtree still sees through calls into the rest of the module.
+	analysis := lint.Analyze(loader.Fset, loader.Info, pkgs, loader.Loaded(), lint.AllRules())
+	diags := analysis.Diags
+
+	if *fixAllows {
+		stale := analysis.Prog.StaleAllows()
+		fixed, err := lint.FixAllows(stale)
+		for _, f := range fixed {
+			if rel, rerr := filepath.Rel(root, f); rerr == nil {
+				f = rel
+			}
+			fmt.Printf("hpnlint: fixed %s\n", f)
 		}
-		fmt.Println(d)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hpnlint: removed %d stale allow directive(s) in %d file(s)\n", len(stale), len(fixed))
+		return
+	}
+
+	// Positions relative to the module root keep output stable across
+	// checkouts.
+	for i := range diags {
+		diags[i].Pos.Filename = relTo(root, diags[i].Pos.Filename)
+		for j := range diags[i].Chain {
+			diags[i].Chain[j].Pos.Filename = relTo(root, diags[i].Chain[j].Pos.Filename)
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.Render())
+		}
+	}
+
+	elapsed := time.Since(start) //hpnlint:allow wallclock -- lint runtime budget, not sim state
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "hpnlint: analysis took %v, over the %v budget\n", elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hpnlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// relTo maps an absolute path under root to its root-relative form,
+// leaving anything else untouched.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // loadArg resolves one command-line argument: "./..."-style patterns load

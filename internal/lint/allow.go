@@ -2,16 +2,62 @@ package lint
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
-// allowSet records, per file and line, which rules an allow directive
-// suppresses.
-type allowSet map[string]map[int]map[string]bool
+// allowDirective is one rule token of one `//hpnlint:allow` comment. A
+// directive naming several rules expands to one allowDirective per rule, so
+// staleness is tracked per rule token: `//hpnlint:allow floateq,maporder`
+// where only floateq still fires reports the maporder token as stale.
+type allowDirective struct {
+	pos  token.Position // position of the comment's `//`
+	rule string
+	// used flips when the directive suppresses a diagnostic or stops a
+	// taint seed from entering a summary; a directive that never flips is
+	// stale and reported by the allowstale rule.
+	used bool
+}
 
-// allowed reports whether rule is suppressed at file:line.
-func (a allowSet) allowed(file string, line int, rule string) bool {
-	return a[file][line][rule]
+// allowSet indexes a package's allow directives by file and line.
+type allowSet struct {
+	byLine     map[string]map[int]map[string]*allowDirective
+	directives []*allowDirective
+}
+
+// allowed reports whether rule is suppressed at file:line, marking the
+// backing directive as load-bearing.
+func (a *allowSet) allowed(file string, line int, rule string) bool {
+	if a == nil {
+		return false
+	}
+	d := a.byLine[file][line][rule]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// stale returns the directives that never suppressed anything, in file/line
+// order.
+func (a *allowSet) stale(rule string) []*allowDirective {
+	var out []*allowDirective
+	for _, d := range a.directives {
+		if !d.used && d.rule == rule {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		if out[i].pos.Line != out[j].pos.Line {
+			return out[i].pos.Line < out[j].pos.Line
+		}
+		return out[i].rule < out[j].rule
+	})
+	return out
 }
 
 // collectAllows scans every comment in the package for allow directives.
@@ -32,8 +78,11 @@ func (a allowSet) allowed(file string, line int, rule string) bool {
 //
 // Everything after " -- " is a free-form justification; writing one is
 // expected — an allow without a why is a review comment waiting to happen.
-func collectAllows(fset *token.FileSet, pkg *Package) allowSet {
-	allows := allowSet{}
+// An allow also stops interprocedural taint: a wallclock allow on a
+// time.Now site keeps the enclosing function's summary clean, so callers
+// are not re-flagged for a deliberate exception.
+func collectAllows(fset *token.FileSet, pkg *Package) *allowSet {
+	allows := &allowSet{byLine: map[string]map[int]map[string]*allowDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -42,19 +91,23 @@ func collectAllows(fset *token.FileSet, pkg *Package) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Slash)
-				lines := allows[pos.Filename]
+				lines := allows.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					allows[pos.Filename] = lines
+					lines = map[int]map[string]*allowDirective{}
+					allows.byLine[pos.Filename] = lines
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set := lines[line]
-					if set == nil {
-						set = map[string]bool{}
-						lines[line] = set
-					}
-					for _, r := range rules {
-						set[r] = true
+				for _, r := range rules {
+					d := &allowDirective{pos: pos, rule: r}
+					allows.directives = append(allows.directives, d)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := lines[line]
+						if set == nil {
+							set = map[string]*allowDirective{}
+							lines[line] = set
+						}
+						// Both lines share one directive so either hit
+						// marks it used.
+						set[r] = d
 					}
 				}
 			}

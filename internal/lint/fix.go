@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixAllows mechanically deletes stale allow directives from their source
+// files: each StaleAllow's rule token is removed from its directive, the
+// whole comment is removed when no rule token survives, and a line that
+// held nothing but the comment is deleted outright. Justifications follow
+// their directive — trimmed with the last rule token, kept while any rule
+// remains. Returns the files rewritten, in sorted order.
+//
+// The rewrite is textual by design: directives are line-anchored comments,
+// so a line-level edit is exact and keeps gofmt happy without reprinting
+// the AST (which would churn unrelated formatting).
+func FixAllows(stale []StaleAllow) ([]string, error) {
+	byFile := map[string]map[int]map[string]bool{}
+	for _, sa := range stale {
+		lines := byFile[sa.Pos.Filename]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			byFile[sa.Pos.Filename] = lines
+		}
+		rules := lines[sa.Pos.Line]
+		if rules == nil {
+			rules = map[string]bool{}
+			lines[sa.Pos.Line] = rules
+		}
+		rules[sa.Rule] = true
+	}
+
+	var fixed []string
+	for file, staleLines := range byFile {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return fixed, fmt.Errorf("lint: fix-allows: %w", err)
+		}
+		lines := strings.Split(string(data), "\n")
+		var out []string
+		changed := false
+		for i, line := range lines {
+			staleRules := staleLines[i+1]
+			if staleRules == nil {
+				out = append(out, line)
+				continue
+			}
+			rewritten, drop := rewriteAllowLine(line, staleRules)
+			changed = true
+			if !drop {
+				out = append(out, rewritten)
+			}
+		}
+		if !changed {
+			continue
+		}
+		if err := os.WriteFile(file, []byte(strings.Join(out, "\n")), 0o644); err != nil {
+			return fixed, fmt.Errorf("lint: fix-allows: %w", err)
+		}
+		fixed = append(fixed, file)
+	}
+	sort.Strings(fixed)
+	return fixed, nil
+}
+
+// rewriteAllowLine removes the stale rule tokens from the allow directive
+// on one source line. drop reports that the whole line should be deleted
+// (the line held only the now-empty directive).
+func rewriteAllowLine(line string, staleRules map[string]bool) (rewritten string, drop bool) {
+	const prefix = "//hpnlint:allow"
+	idx := strings.Index(line, prefix)
+	if idx < 0 {
+		return line, false // defensive: position no longer matches the text
+	}
+	directive := line[idx:]
+	rules, ok := parseAllowDirective(directive)
+	if !ok {
+		return line, false
+	}
+	var keep []string
+	for _, r := range rules {
+		if !staleRules[r] {
+			keep = append(keep, r)
+		}
+	}
+	code := strings.TrimRight(line[:idx], " \t")
+	if len(keep) == 0 {
+		// Whole directive (and its justification) goes.
+		return code, code == ""
+	}
+	justification := ""
+	if j := strings.Index(directive, "--"); j >= 0 {
+		justification = " -- " + strings.TrimSpace(directive[j+2:])
+	}
+	rebuilt := prefix + " " + strings.Join(keep, ",") + justification
+	if code == "" {
+		// Standalone comment line: preserve its indentation.
+		indent := line[:len(line)-len(strings.TrimLeft(line, " \t"))]
+		return indent + rebuilt, false
+	}
+	return code + " " + rebuilt, false
+}

@@ -6,28 +6,44 @@
 // same-seed runs. That contract is easy to break silently — one stray
 // time.Now, a global math/rand draw, or Go map iteration order leaking into
 // an ordered output — so it is enforced by machine rather than by review
-// vigilance. hpnlint walks every package with go/parser + go/types (standard
-// library only, preserving the repo's no-dependency rule) and reports
-// file:line diagnostics for five rules:
+// vigilance. hpnlint parses every package with go/parser + go/types
+// (standard library only, preserving the repo's no-dependency rule), builds
+// a module-wide call graph, computes per-function dataflow summaries
+// ("derives wall-clock time", "has ordered side effects", "returns
+// map-iteration-ordered data", "parameter reaches an ordered sink") to a
+// fixpoint, and reports file:line diagnostics — with the interprocedural
+// taint chain attached — for these rules:
 //
-//   - wallclock:  no time.Now/time.Since etc. in simulator code; virtual
-//     time comes from sim.Engine.Now.
-//   - globalrand: no math/rand package-level functions; RNG streams must
-//     flow from hpn/internal/sim.NewRNG / RNG.Fork.
-//   - maporder:   no map iteration whose body schedules simulator events,
-//     appends to a slice that outlives the loop (unless sorted afterwards),
-//     or emits telemetry — the ways map order reaches ordered output.
+//   - wallclock:  no time.Now/time.Since etc. in simulator code, directly
+//     or through any call chain; virtual time comes from sim.Engine.Now.
+//   - globalrand: no math/rand package-level functions, directly or
+//     transitively; RNG streams must flow from hpn/internal/sim.NewRNG /
+//     RNG.Fork.
+//   - maporder:   no map iteration whose order reaches ordered output —
+//     scheduling events, emitting telemetry, building surviving slices, or
+//     calling functions that (transitively) do any of those; also no
+//     ranging over or sinking of data a callee built in map order.
 //   - floateq:    no ==/!= between floating-point operands; the fluid
 //     solver compares with epsilons.
 //   - tracenil:   telemetry emission sites must sit behind a nil-tracer
-//     guard so disabled telemetry costs one branch, not argument
-//     construction.
+//     guard — including call sites that pass a possibly-nil tracer to a
+//     helper that emits on it unguarded.
 //   - obsnil:     netsim.Observer callback sites must sit behind a
-//     nil-observer guard — a nil interface call panics, and the
-//     observer-less simulation must cost one branch per emission point.
+//     nil-observer guard, with the same interprocedural obligation.
+//   - goorder:    goroutine results must be merged index-addressed or
+//     sorted, never by channel-receive order or shared-slice append.
+//   - floatacc:   no float accumulation whose reduction order depends on
+//     map iteration, goroutine scheduling, or channel-receive order.
+//   - seqsource:  artifact records are stamped from engine clock/sequence
+//     cursors, never from function-local counters (memo replay re-stamps
+//     by engine deltas; local counters silently diverge).
+//   - allowstale: every //hpnlint:allow directive must still suppress a
+//     finding; a stale allow is itself a finding.
 //
 // Intentional exceptions carry a `//hpnlint:allow <rule>` directive (see
-// collectAllows in allow.go for the exact syntax).
+// collectAllows in allow.go for the exact syntax). An allow at a taint
+// seed also stops the summary propagation, so a justified exception does
+// not cascade findings onto its callers.
 package lint
 
 import (
@@ -45,16 +61,37 @@ const (
 	netsimPath    = "hpn/internal/netsim"
 )
 
-// Diagnostic is one finding at a resolved source position.
-type Diagnostic struct {
+// ChainFrame is one link of an interprocedural taint chain, from the
+// reported sink back to the seed.
+type ChainFrame struct {
 	Pos  token.Position
-	Rule string
-	Msg  string
+	Note string
 }
 
-// String renders the diagnostic in the conventional file:line:col form.
+// Diagnostic is one finding at a resolved source position, with the
+// summary chain that explains an interprocedural path (empty for direct
+// findings).
+type Diagnostic struct {
+	Pos   token.Position
+	Rule  string
+	Msg   string
+	Chain []ChainFrame
+}
+
+// String renders the diagnostic in the conventional file:line:col form,
+// without the chain (see Render for the chained form).
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Render renders the diagnostic with its taint chain, one indented line
+// per frame.
+func (d Diagnostic) Render() string {
+	out := d.String()
+	for _, f := range d.Chain {
+		out += fmt.Sprintf("\n\t%s:%d:%d: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Note)
+	}
+	return out
 }
 
 // Rule is one invariant checker run over every loaded package.
@@ -76,6 +113,10 @@ func AllRules() []Rule {
 		floateqRule{},
 		tracenilRule{},
 		obsnilRule{},
+		goorderRule{},
+		floataccRule{},
+		seqsourceRule{},
+		allowstaleRule{},
 	}
 }
 
@@ -89,40 +130,81 @@ func RuleByName(name string) Rule {
 	return nil
 }
 
+// knownRuleNames is the universe of valid rule names for allow directives.
+func knownRuleNames() map[string]bool {
+	known := map[string]bool{}
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
+	return known
+}
+
 // Pass carries one package through one rule.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
 	Info *types.Info
+	// Prog is the module-wide program: call graph, allow sets and
+	// converged summaries. Rules consult it for interprocedural facts.
+	Prog *Program
 
-	report func(pos token.Pos, rule, msg string)
+	report func(pos token.Pos, rule, msg string, chain []ChainFrame)
 }
 
 // Reportf files a diagnostic unless an allow directive suppresses it.
 func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
-	p.report(pos, rule, fmt.Sprintf(format, args...))
+	p.report(pos, rule, fmt.Sprintf(format, args...), nil)
 }
 
-// Run applies rules to pkgs and returns the surviving diagnostics sorted by
-// position.
+// ReportChain files a diagnostic carrying an interprocedural taint chain.
+func (p *Pass) ReportChain(pos token.Pos, rule, msg string, chain []ChainFrame) {
+	p.report(pos, rule, msg, chain)
+}
+
+// Analysis is the result of one analyzer run: the diagnostics plus the
+// program state tools (the stale-allow fixer) inspect afterwards.
+type Analysis struct {
+	Prog  *Program
+	Diags []Diagnostic
+}
+
+// Run applies rules to pkgs and returns the surviving diagnostics sorted
+// by position. Summaries are computed over pkgs only; use Analyze to lint
+// a subset against a wider context.
 func Run(fset *token.FileSet, info *types.Info, pkgs []*Package, rules []Rule) []Diagnostic {
+	return Analyze(fset, info, pkgs, pkgs, rules).Diags
+}
+
+// Analyze builds the module-wide program over context (a superset of
+// pkgs), runs every rule over pkgs, then reports stale allow directives if
+// the allowstale rule is enabled.
+func Analyze(fset *token.FileSet, info *types.Info, pkgs, context []*Package, rules []Rule) *Analysis {
+	prog := BuildProgram(fset, info, pkgs, context)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allows := collectAllows(fset, pkg)
+		allows := prog.allows[pkg]
 		pass := &Pass{
 			Fset: fset,
 			Pkg:  pkg,
 			Info: info,
-			report: func(pos token.Pos, rule, msg string) {
+			Prog: prog,
+			report: func(pos token.Pos, rule, msg string, chain []ChainFrame) {
 				position := fset.Position(pos)
 				if allows.allowed(position.Filename, position.Line, rule) {
 					return
 				}
-				diags = append(diags, Diagnostic{Pos: position, Rule: rule, Msg: msg})
+				diags = append(diags, Diagnostic{Pos: position, Rule: rule, Msg: msg, Chain: chain})
 			},
 		}
 		for _, r := range rules {
 			r.Check(pass)
+		}
+	}
+	// allowstale runs after every other rule has had its chance to mark
+	// directives used; see rule_allowstale.go.
+	for _, r := range rules {
+		if as, ok := r.(allowstaleRule); ok {
+			diags = append(diags, as.findings(prog)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -138,7 +220,7 @@ func Run(fset *token.FileSet, info *types.Info, pkgs []*Package, rules []Rule) [
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
+	return &Analysis{Prog: prog, Diags: diags}
 }
 
 // inspectWithStack walks the tree rooted at root, calling fn for each node

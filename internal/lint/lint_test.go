@@ -2,7 +2,10 @@ package lint
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -146,6 +149,46 @@ func TestFixtureMaporder(t *testing.T)   { checkFixture(t, "maporder", AllRules(
 func TestFixtureFloateq(t *testing.T)    { checkFixture(t, "floateq", AllRules()) }
 func TestFixtureTracenil(t *testing.T)   { checkFixture(t, "tracenil", AllRules()) }
 func TestFixtureObsnil(t *testing.T)     { checkFixture(t, "obsnil", AllRules()) }
+func TestFixtureGoorder(t *testing.T)    { checkFixture(t, "goorder", AllRules()) }
+func TestFixtureFloatacc(t *testing.T)   { checkFixture(t, "floatacc", AllRules()) }
+func TestFixtureSeqsource(t *testing.T)  { checkFixture(t, "seqsource", AllRules()) }
+func TestFixtureAllowstale(t *testing.T) { checkFixture(t, "allowstale", AllRules()) }
+
+// TestFixtureInterproc covers the summary-based core: map-iteration order
+// crossing call boundaries (counter-indexed builder → RMO summary →
+// caller leak / parameter sink) that the old single-function rule could
+// not see.
+func TestFixtureInterproc(t *testing.T) { checkFixture(t, "interproc", AllRules()) }
+
+// TestInterprocChains pins the explainability contract: every
+// interprocedural diagnostic carries a taint chain, and Render shows it
+// as indented file:line frames.
+func TestInterprocChains(t *testing.T) {
+	ld := testLoader(t)
+	pkg, err := ld.LoadDir(filepath.Join("testdata", "src", "interproc"), "hpnlint.fixture/interproc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run(ld.Fset, ld.Info, []*Package{pkg}, AllRules())
+	if len(diags) == 0 {
+		t.Fatal("interproc fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if len(d.Chain) == 0 {
+			t.Errorf("interprocedural diagnostic has no taint chain: %s", d)
+			continue
+		}
+		rendered := d.Render()
+		if !strings.Contains(rendered, "\n\t") {
+			t.Errorf("Render() does not show the chain:\n%s", rendered)
+		}
+		for _, f := range d.Chain {
+			if f.Pos.Line == 0 || f.Note == "" {
+				t.Errorf("chain frame missing position or note in: %s", rendered)
+			}
+		}
+	}
+}
 
 // TestFixturesFailWithRuleDisabled is the inverse guard: dropping any
 // single rule from the set must leave that fixture's wants unmatched.
@@ -240,6 +283,119 @@ func TestDiagnosticsSorted(t *testing.T) {
 			lines = append(lines, d.String())
 		}
 		t.Fatalf("diagnostics not in deterministic order:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestStaleAllowsReported pins what the allowstale post-phase sees on the
+// allowstale fixture: exactly the directives that suppress nothing, with
+// unknown rule names always stale.
+func TestStaleAllowsReported(t *testing.T) {
+	ld := testLoader(t)
+	pkg, err := ld.LoadDir(filepath.Join("testdata", "src", "allowstale"), "hpnlint.fixture/allowstale")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	a := Analyze(ld.Fset, ld.Info, []*Package{pkg}, []*Package{pkg}, AllRules())
+	stale := a.Prog.StaleAllows()
+	var got []string
+	for _, sa := range stale {
+		tag := sa.Rule
+		if sa.Unknown {
+			tag += "(unknown)"
+		}
+		got = append(got, tag)
+	}
+	want := []string{"maporder", "globalrand", "nosuchrule(unknown)"}
+	sort.Strings(got)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("stale allows = %v, want %v", got, want)
+	}
+}
+
+// TestWriteJSON pins the machine-readable output shape CI consumes.
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{{
+		Pos:  token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Rule: "maporder",
+		Msg:  "order leak",
+		Chain: []ChainFrame{
+			{Pos: token.Position{Filename: "b.go", Line: 9, Column: 2}, Note: "returns map-iteration-ordered data"},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []struct {
+		Rule, File, Msg string
+		Line, Col       int
+		Chain           []struct {
+			File, Note string
+			Line, Col  int
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].Rule != "maporder" || got[0].File != "a.go" ||
+		got[0].Line != 3 || got[0].Col != 7 || got[0].Msg != "order leak" {
+		t.Errorf("unexpected diagnostic encoding: %s", buf.String())
+	}
+	if len(got[0].Chain) != 1 || got[0].Chain[0].File != "b.go" || got[0].Chain[0].Line != 9 ||
+		got[0].Chain[0].Note != "returns map-iteration-ordered data" {
+		t.Errorf("unexpected chain encoding: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty run should encode as [], got %q", buf.String())
+	}
+}
+
+// TestFixAllows covers the mechanical stale-directive removal: single
+// stale token drops the comment, mixed directives keep the live tokens
+// and the justification, comment-only lines disappear entirely.
+func TestFixAllows(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+var a = 1 //hpnlint:allow maporder -- stale
+var b = 2 //hpnlint:allow floateq,maporder -- half stale
+//hpnlint:allow wallclock -- standalone stale
+var c = 3
+`
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := []StaleAllow{
+		{Pos: token.Position{Filename: path, Line: 3}, Rule: "maporder"},
+		{Pos: token.Position{Filename: path, Line: 4}, Rule: "maporder"},
+		{Pos: token.Position{Filename: path, Line: 5}, Rule: "wallclock"},
+	}
+	fixed, err := FixAllows(stale)
+	if err != nil {
+		t.Fatalf("FixAllows: %v", err)
+	}
+	if len(fixed) != 1 || fixed[0] != path {
+		t.Errorf("fixed = %v, want [%s]", fixed, path)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `package p
+
+var a = 1
+var b = 2 //hpnlint:allow floateq -- half stale
+var c = 3
+`
+	if string(got) != want {
+		t.Errorf("rewritten file:\n%s\nwant:\n%s", got, want)
 	}
 }
 

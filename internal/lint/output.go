@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFrame mirrors ChainFrame with a flat, stable wire shape.
+type jsonFrame struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Note string `json:"note"`
+}
+
+// jsonDiag is the machine-readable form of one Diagnostic. The chain field
+// is present (possibly empty) so consumers can rely on the key.
+type jsonDiag struct {
+	Rule  string      `json:"rule"`
+	File  string      `json:"file"`
+	Line  int         `json:"line"`
+	Col   int         `json:"col"`
+	Msg   string      `json:"msg"`
+	Chain []jsonFrame `json:"chain"`
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (always an
+// array — an empty run writes `[]`), one object per finding with the
+// interprocedural summary chain inlined. This is the -json output of
+// cmd/hpnlint, consumed by CI tooling.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiag{
+			Rule:  d.Rule,
+			File:  d.Pos.Filename,
+			Line:  d.Pos.Line,
+			Col:   d.Pos.Column,
+			Msg:   d.Msg,
+			Chain: make([]jsonFrame, 0, len(d.Chain)),
+		}
+		for _, f := range d.Chain {
+			jd.Chain = append(jd.Chain, jsonFrame{
+				File: f.Pos.Filename,
+				Line: f.Pos.Line,
+				Col:  f.Pos.Column,
+				Note: f.Note,
+			})
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,38 @@
+package lint
+
+// allowstaleRule turns suppression debt into findings: every
+// `//hpnlint:allow <rule>` directive must still suppress at least one
+// diagnostic (or stop at least one taint seed). A directive that no longer
+// fires is dead configuration — the hazard it excused was fixed or moved,
+// and the stale allow now silently licenses a future regression at that
+// line. Directives naming rules that do not exist are always stale.
+//
+// The rule cannot run per-package like the others: staleness is only known
+// after every other enabled rule has had its chance to mark directives
+// used. Check is therefore a no-op and the findings are produced by
+// Analyze as a post-phase (see findings below), still gated on the rule
+// being in the enabled set. `make lint-fix` (hpnlint -fix-allows) deletes
+// the stale tokens mechanically.
+type allowstaleRule struct{}
+
+func (allowstaleRule) Name() string { return "allowstale" }
+func (allowstaleRule) Doc() string {
+	return "every //hpnlint:allow directive must still suppress a finding; stale allows are findings"
+}
+
+// Check is intentionally empty — see the type comment. Staleness is a
+// whole-program post-condition, not a per-package property.
+func (allowstaleRule) Check(p *Pass) {}
+
+// findings reports the stale directives after all other rules ran.
+func (allowstaleRule) findings(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, sa := range prog.staleAllows(knownRuleNames()) {
+		msg := "//hpnlint:allow " + sa.Rule + " no longer suppresses any finding; delete it (make lint-fix) or re-justify it"
+		if sa.Unknown {
+			msg = "//hpnlint:allow names unknown rule " + sa.Rule + "; delete it (make lint-fix) or fix the rule name"
+		}
+		diags = append(diags, Diagnostic{Pos: sa.Pos, Rule: "allowstale", Msg: msg})
+	}
+	return diags
+}

@@ -10,35 +10,46 @@ import (
 // breaks same-seed reproducibility; even explicitly seeded rand.Rand values
 // are off-contract here because every stochastic component must derive its
 // stream from the experiment seed via hpn/internal/sim.NewRNG / RNG.Fork.
+//
+// Interprocedurally, a call to a module function whose summary says it
+// (transitively) draws from the global source is reported at the call site
+// with the taint chain.
 type globalrandRule struct{}
 
 func (globalrandRule) Name() string { return "globalrand" }
 func (globalrandRule) Doc() string {
-	return "no math/rand top-level functions; RNG streams must flow from hpn/internal/sim (NewRNG/Fork)"
+	return "no math/rand top-level functions, directly or via any call chain; RNG streams must flow from hpn/internal/sim (NewRNG/Fork)"
 }
 
 func (globalrandRule) Check(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := p.Info.Uses[n.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				switch funcPkgPath(fn) {
+				case "math/rand", "math/rand/v2":
+				default:
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on rand.Rand values are the caller's seed problem
+				}
+				p.Reportf(n.Pos(), "globalrand",
+					"rand.%s draws outside the experiment's seeded stream; derive an RNG with hpn/internal/sim.NewRNG(seed) or RNG.Fork",
+					fn.Name())
+			case *ast.CallExpr:
+				fi := p.Prog.FuncOf(calleeFunc(p.Info, n))
+				if fi == nil || fi.sum.Rand == nil {
+					return true
+				}
+				p.ReportChain(n.Pos(), "globalrand",
+					"call to "+fi.Name()+" draws from the global math/rand source (interprocedural); thread a sim.RNG stream through instead",
+					p.Prog.chain(fi.sum.Rand, factRand))
 			}
-			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-			if !ok {
-				return true
-			}
-			switch funcPkgPath(fn) {
-			case "math/rand", "math/rand/v2":
-			default:
-				return true
-			}
-			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-				return true // methods on rand.Rand values are the caller's seed problem
-			}
-			p.Reportf(sel.Pos(), "globalrand",
-				"rand.%s draws outside the experiment's seeded stream; derive an RNG with hpn/internal/sim.NewRNG(seed) or RNG.Fork",
-				fn.Name())
 			return true
 		})
 	}

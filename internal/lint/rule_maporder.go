@@ -3,14 +3,22 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
-// maporderRule flags `range` over a map whose body lets Go's randomized
-// iteration order reach ordered output: scheduling simulator events,
-// appending to a slice that outlives the loop, or emitting telemetry. Any
-// of those turns map order into event order, artifact order, or trace
-// order — the exact class of bug that makes same-seed runs diverge.
+// maporderRule flags code paths that let Go's randomized map iteration
+// order reach ordered output. Intraprocedurally that is a `range` over a
+// map whose body schedules simulator events, appends to a slice that
+// outlives the loop, or emits telemetry. Interprocedurally — using the
+// module-wide summaries — it also flags:
+//
+//   - a map-range body calling a function that (transitively) has ordered
+//     side effects: schedules, emits, feeds a fingerprint hasher, or
+//     appends to surviving state. The call order is map order, so the
+//     callee's ordered output inherits it.
+//   - ranging over data a callee built in map-iteration order (a
+//     "returns map-ordered" summary), when the loop body leaks order.
+//   - passing map-iteration-ordered data into a parameter that reaches an
+//     ordered artifact writer or fingerprint hasher.
 //
 // The canonical fix — collect keys, sort, iterate the sorted slice — is
 // recognized and not flagged: an append whose target is later passed to a
@@ -19,7 +27,7 @@ type maporderRule struct{}
 
 func (maporderRule) Name() string { return "maporder" }
 func (maporderRule) Doc() string {
-	return "no map iteration that schedules events, builds surviving slices (unsorted), or emits telemetry"
+	return "no map iteration order reaching ordered output — events, telemetry, surviving slices, hashers — directly or through calls"
 }
 
 // simSchedulingFuncs are the engine entry points that enqueue events; map
@@ -34,25 +42,100 @@ var simSchedulingFuncs = map[string]bool{
 func (maporderRule) Check(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			t := p.Info.TypeOf(rs.X)
-			if t == nil {
-				return true
-			}
-			if _, ok := t.Underlying().(*types.Map); !ok {
-				return true
-			}
-			if reason := p.maporderTrigger(rs, enclosingFuncBody(stack)); reason != "" {
-				p.Reportf(rs.Pos(), "maporder",
-					"iteration over map %s leaks Go's randomized order into %s; iterate a sorted key slice or a parallel ordered slice",
-					types.ExprString(rs.X), reason)
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					if reason, chain := p.maporderTrigger(n, enclosingFuncBody(stack)); reason != "" {
+						p.ReportChain(n.Pos(), "maporder",
+							"iteration over map "+types.ExprString(n.X)+" leaks Go's randomized order into "+reason+"; iterate a sorted key slice or a parallel ordered slice",
+							chain)
+					}
+					return true
+				}
+				// Ranging over a value a callee built in map order: same
+				// defect one call boundary away.
+				if src := p.mapOrderedSource(n.X, stack); src != nil {
+					if reason, chain := p.maporderTrigger(n, enclosingFuncBody(stack)); reason != "" {
+						full := append(p.Prog.chain(src, factRMO), chain...)
+						p.ReportChain(n.Pos(), "maporder",
+							"iteration over "+types.ExprString(n.X)+" follows map-iteration order from a callee (interprocedural) and leaks it into "+reason+"; sort before iterating",
+							full)
+					}
+				}
+			case *ast.CallExpr:
+				p.checkMapOrderedArgs(n, stack)
 			}
 			return true
 		})
 	}
+}
+
+// checkMapOrderedArgs flags map-iteration-ordered values passed into
+// parameters whose summary says they reach an ordered sink.
+func (p *Pass) checkMapOrderedArgs(call *ast.CallExpr, stack []ast.Node) {
+	fi := p.Prog.FuncOf(calleeFunc(p.Info, call))
+	if fi == nil || len(fi.sum.ParamSink) == 0 {
+		return
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for ai, arg := range call.Args {
+		target := ai
+		if sig.Variadic() && target >= sig.Params().Len()-1 {
+			target = sig.Params().Len() - 1
+		}
+		sink := fi.sum.ParamSink[target]
+		if sink == nil {
+			continue
+		}
+		src := p.mapOrderedSource(arg, stack)
+		if src == nil {
+			continue
+		}
+		chain := append(p.Prog.chain(src, factRMO), p.Prog.chain(sink, factParamSink)...)
+		p.ReportChain(arg.Pos(), "maporder",
+			"map-iteration-ordered value "+types.ExprString(arg)+" flows into parameter "+paramName(fi, target)+" of "+fi.Name()+", which reaches an ordered sink (interprocedural); sort it first",
+			chain)
+	}
+}
+
+// mapOrderedSource resolves whether an expression carries map-iteration
+// order: a local the enclosing function built (or received) in map order,
+// or a direct call to a returns-map-ordered function.
+func (p *Pass) mapOrderedSource(e ast.Expr, stack []ast.Node) *prov {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fi := p.enclosingFuncInfo(stack)
+		if fi == nil {
+			return nil
+		}
+		return fi.moLocals[p.Info.ObjectOf(e)]
+	case *ast.CallExpr:
+		callee := p.Prog.FuncOf(calleeFunc(p.Info, e))
+		if callee != nil && callee.sum.RMO != nil {
+			return &prov{pos: e.Pos(), desc: "call to " + callee.Name() + ", which returns map-iteration-ordered data", next: callee}
+		}
+	}
+	return nil
+}
+
+// enclosingFuncInfo resolves the FuncInfo of the declaration the walk is
+// currently inside, via the ancestor stack.
+func (p *Pass) enclosingFuncInfo(stack []ast.Node) *FuncInfo {
+	for i := 0; i < len(stack); i++ {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				return p.Prog.FuncOf(obj)
+			}
+		}
+	}
+	return nil
 }
 
 // enclosingFuncBody returns the body of the innermost enclosing function,
@@ -70,10 +153,12 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 }
 
 // maporderTrigger scans the range body for the first order-leaking
-// operation and describes it, or returns "" when the body is
+// operation and describes it (with an interprocedural chain when the leak
+// goes through a callee), or returns "" when the body is
 // order-independent.
-func (p *Pass) maporderTrigger(rs *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+func (p *Pass) maporderTrigger(rs *ast.RangeStmt, fnBody *ast.BlockStmt) (string, []ChainFrame) {
 	var reason string
+	var chain []ChainFrame
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		if reason != "" {
 			return false
@@ -99,15 +184,23 @@ func (p *Pass) maporderTrigger(rs *ast.RangeStmt, fnBody *ast.BlockStmt) string 
 		case telemetryPath:
 			if p.Pkg.ImportPath != telemetryPath {
 				reason = "telemetry emission order (" + fn.Name() + ")"
+				return true
 			}
 		case simPath:
 			if simSchedulingFuncs[fn.Name()] {
 				reason = "simulator event order (sim." + fn.Name() + ")"
+				return true
 			}
+		}
+		// Interprocedural: the body calls a function that (transitively)
+		// has ordered side effects — the call order is map order.
+		if fi := p.Prog.FuncOf(fn); fi != nil && fi.sum.Ordered != nil {
+			reason = "the ordered side effects of " + fi.Name() + " (interprocedural)"
+			chain = p.Prog.chain(fi.sum.Ordered, factOrdered)
 		}
 		return true
 	})
-	return reason
+	return reason, chain
 }
 
 // escapesRange reports whether the append target is declared outside the
@@ -148,13 +241,7 @@ func (p *Pass) sortedAfter(target ast.Expr, rs *ast.RangeStmt, fnBody *ast.Block
 			return true
 		}
 		fn := calleeFunc(p.Info, call)
-		switch funcPkgPath(fn) {
-		case "sort":
-		case "slices":
-			if !strings.HasPrefix(fn.Name(), "Sort") {
-				return true
-			}
-		default:
+		if fn == nil || !isSortCall(fn) {
 			return true
 		}
 		for _, arg := range call.Args {

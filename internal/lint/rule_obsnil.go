@@ -18,6 +18,10 @@ import (
 //
 //	if X != nil { ... X.LinkEvent(...) ... }      // enclosing-if form
 //	if X == nil { return }; ...; X.FlowDone(...)  // early-return form
+//
+// Like tracenil, the rule follows the obligation through helpers: passing
+// a possibly-nil observer into a parameter that is emitted on unguarded is
+// reported at the call site — there it is a latent panic two frames away.
 type obsnilRule struct{}
 
 func (obsnilRule) Name() string { return "obsnil" }
@@ -34,10 +38,12 @@ func (obsnilRule) Check(p *Pass) {
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
+				checkParamEmitCall(p, call, stack, "obsnil", "observer")
 				return true
 			}
 			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
 			if !ok || !isObserverMethod(fn) {
+				checkParamEmitCall(p, call, stack, "obsnil", "observer")
 				return true
 			}
 			recv := types.ExprString(sel.X)

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// seqsourceRule flags artifact records stamped from function-local
+// counters instead of the engine's cursors. The memoization layer
+// (internal/memo) replays skipped iterations by re-stamping records from
+// engine deltas — virtual time from sim.Engine.Now, sequence numbers from
+// sim.Engine.Seq — so a record whose Seq/Time field comes from a `i := 0;
+// i++` counter is correct on a cold run and silently diverges on a
+// fast-forwarded one: the local counter restarts at its literal while the
+// engine cursor carries the replayed history. The rule fires on a
+// stamp-named field (Seq, ID, Time, ...) assigned from a local counter,
+// whether in a composite literal or a field assignment.
+//
+// The sim package itself is exempt: it owns the cursors and may build
+// them from whatever arithmetic it likes.
+type seqsourceRule struct{}
+
+func (seqsourceRule) Name() string { return "seqsource" }
+func (seqsourceRule) Doc() string {
+	return "artifact records must be stamped from engine clock/seq cursors, not function-local counters"
+}
+
+// stampFields are the record fields that carry ordering or identity into
+// artifacts; a local counter landing in one of these is a replay hazard.
+var stampFields = map[string]bool{
+	"Seq":       true,
+	"SeqNo":     true,
+	"ID":        true,
+	"Time":      true,
+	"TS":        true,
+	"Timestamp": true,
+	"At":        true,
+	"Stamp":     true,
+}
+
+func (seqsourceRule) Check(p *Pass) {
+	if p.Pkg.ImportPath == simPath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			counters := localCounters(p.Info, fd)
+			if len(counters) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok || !stampFields[key.Name] {
+							continue
+						}
+						if c := counterIn(p.Info, kv.Value, counters); c != "" {
+							p.Reportf(kv.Value.Pos(), "seqsource",
+								"record field %s stamped from local counter %s; memo replay re-stamps records from engine cursors (sim.Engine.Now / Seq), so a local counter diverges after fast-forward — thread the engine cursor instead",
+								key.Name, c)
+						}
+					}
+				case *ast.AssignStmt:
+					if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok || !stampFields[sel.Sel.Name] {
+							continue
+						}
+						if c := counterIn(p.Info, n.Rhs[i], counters); c != "" {
+							p.Reportf(n.Rhs[i].Pos(), "seqsource",
+								"record field %s stamped from local counter %s; memo replay re-stamps records from engine cursors (sim.Engine.Now / Seq), so a local counter diverges after fast-forward — thread the engine cursor instead",
+								sel.Sel.Name, c)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// counterIn reports (by name) the first local counter referenced by e,
+// looking through conversions and arithmetic; "" when e uses none. A value
+// merely offset from a counter (i + base) is still counter-derived.
+func counterIn(info *types.Info, e ast.Expr, counters map[types.Object]token.Pos) string {
+	name := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isCounter := counters[info.ObjectOf(id)]; isCounter {
+			name = id.Name
+		}
+		return name == ""
+	})
+	return name
+}

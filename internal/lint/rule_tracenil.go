@@ -19,11 +19,16 @@ import (
 //	if X == nil { return }; ...; X.Instant(...) // early-return form
 //
 // The telemetry package itself is exempt: it owns the nil-safety.
+//
+// The rule is also interprocedural: a helper that emits on a tracer
+// parameter without guarding it exports the guard obligation to its
+// callers, so passing a possibly-nil tracer to such a helper unguarded is
+// reported at the call site with the chain down to the emission.
 type tracenilRule struct{}
 
 func (tracenilRule) Name() string { return "tracenil" }
 func (tracenilRule) Doc() string {
-	return "Tracer emission calls (Complete/Instant/Counter) must sit behind a nil-tracer guard"
+	return "Tracer emission calls (Complete/Instant/Counter) must sit behind a nil-tracer guard, including through helpers emitting on a tracer parameter"
 }
 
 // tracerEmitMethods are the per-event emission entry points; metadata and
@@ -47,10 +52,12 @@ func (tracenilRule) Check(p *Pass) {
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
+				checkParamEmitCall(p, call, stack, "tracenil", "tracer")
 				return true
 			}
 			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
 			if !ok || funcPkgPath(fn) != telemetryPath || !tracerEmitMethods[fn.Name()] {
+				checkParamEmitCall(p, call, stack, "tracenil", "tracer")
 				return true
 			}
 			if !isTracerMethod(fn) {
@@ -65,6 +72,42 @@ func (tracenilRule) Check(p *Pass) {
 				recv, fn.Name(), recv)
 			return true
 		})
+	}
+}
+
+// checkParamEmitCall is the interprocedural half shared by tracenil and
+// obsnil: a call passing a possibly-nil tracer/observer expression into a
+// parameter whose summary says it is emitted on unguarded. Known-non-nil
+// arguments (calls, composite literals, addresses) are exempt.
+func checkParamEmitCall(p *Pass, call *ast.CallExpr, stack []ast.Node, rule, what string) {
+	fi := p.Prog.FuncOf(calleeFunc(p.Info, call))
+	if fi == nil || len(fi.sum.ParamEmit) == 0 {
+		return
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for ai, arg := range call.Args {
+		target := ai
+		if sig.Variadic() && target >= sig.Params().Len()-1 {
+			target = sig.Params().Len() - 1
+		}
+		emit := fi.sum.ParamEmit[target]
+		if emit == nil || emit.rule != rule {
+			continue
+		}
+		switch ast.Unparen(arg).(type) {
+		case *ast.CallExpr, *ast.CompositeLit, *ast.UnaryExpr:
+			continue // freshly constructed, cannot be nil
+		}
+		expr := types.ExprString(ast.Unparen(arg))
+		if expr == "nil" || guardedNotNil(stack, call, expr) {
+			continue
+		}
+		p.ReportChain(arg.Pos(), rule,
+			"passes possibly-nil "+what+" "+expr+" to "+fi.Name()+", which emits on it without a nil guard (interprocedural); guard the call or the emission",
+			p.Prog.chain(emit, factParamEmit))
 	}
 }
 

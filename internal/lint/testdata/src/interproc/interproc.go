@@ -1,0 +1,71 @@
+// Package interproc exercises the summary-based interprocedural analysis:
+// map-iteration order crossing a call boundary before it leaks. The old
+// intraprocedural maporder rule inspected one function at a time, so
+// keysOf below — a counter-indexed fill with no append at all — was
+// invisible to it, and so was every caller that leaked its result.
+package interproc
+
+import "sort"
+
+// keysOf builds the key list by counter-indexed fill. No append, no sink
+// in sight: intraprocedurally this function is clean. The summary records
+// "returns map-iteration-ordered data".
+func keysOf(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// forward launders nothing: returning a map-ordered value verbatim
+// forwards the RMO summary.
+func forward(m map[string]int) []string {
+	return keysOf(m)
+}
+
+type sink struct{ rows []string }
+
+// emit appends its argument to surviving state, so its parameter reaches
+// an ordered sink.
+func (s *sink) emit(rows []string) {
+	s.rows = append(s.rows, rows...)
+}
+
+// Ranging over a callee's map-ordered result and leaking the order into a
+// surviving slice: one call boundary between the map range and the leak.
+func leak(s *sink, m map[string]int) {
+	for _, k := range keysOf(m) { // want:maporder "follows map-iteration order from a callee"
+		s.rows = append(s.rows, k)
+	}
+}
+
+// Same leak through two boundaries: forward() forwards keysOf's summary.
+func leakForwarded(s *sink, m map[string]int) {
+	for _, k := range forward(m) { // want:maporder "follows map-iteration order from a callee"
+		s.rows = append(s.rows, k)
+	}
+}
+
+// Passing map-ordered data into a parameter that reaches an ordered sink.
+func leakParam(s *sink, m map[string]int) {
+	s.emit(keysOf(m)) // want:maporder "reaches an ordered sink"
+}
+
+// Sorting the callee's result before use launders the order: clean.
+func sortedUse(s *sink, m map[string]int) {
+	ks := keysOf(m)
+	sort.Strings(ks)
+	s.emit(ks)
+}
+
+// Order-independent consumption of a map-ordered result: clean.
+func countUse(m map[string]int) int {
+	n := 0
+	for range keysOf(m) {
+		n++
+	}
+	return n
+}

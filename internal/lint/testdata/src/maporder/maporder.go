@@ -43,9 +43,11 @@ func sortedAfterIsClean(m map[int]string) []int {
 	return keys
 }
 
-// reductionIsClean: order-independent aggregation.
-func reductionIsClean(m map[int]float64) float64 {
-	var total float64
+// reductionIsClean: order-independent aggregation. Integer addition is
+// associative, so map order cannot change the result (a float reduction
+// here would be the floatacc rule's business).
+func reductionIsClean(m map[int]int) int {
+	var total int
 	for _, v := range m {
 		total += v
 	}

@@ -1,0 +1,75 @@
+// Package seqsource exercises the seqsource rule: artifact records must be
+// stamped from engine clock/sequence cursors, never from function-local
+// counters. Memo replay re-stamps records from engine deltas, so a local
+// counter restarts at its literal while the engine cursor carries the
+// replayed history.
+package seqsource
+
+type record struct {
+	Seq  uint64
+	Time int64
+	Note string
+}
+
+// engine stands in for sim.Engine's cursor surface.
+type engine struct {
+	seq uint64
+	now int64
+}
+
+func (e *engine) Seq() uint64 { return e.seq }
+func (e *engine) Now() int64  { return e.now }
+
+// Stamping from a local counter in a composite literal: the counter
+// restarts from zero on every call; the engine cursor does not.
+func buildLocal(n int) []record {
+	var out []record
+	var seq uint64
+	for i := 0; i < n; i++ {
+		out = append(out, record{
+			Seq:  seq, // want:seqsource "local counter seq"
+			Note: "flow",
+		})
+		seq++
+	}
+	return out
+}
+
+// Stamping from the loop induction variable through a conversion and an
+// offset is still counter-derived.
+func stampAssign(n int) []record {
+	out := make([]record, n)
+	for i := 0; i < n; i++ {
+		out[i].Time = int64(i)*10 + 5 // want:seqsource "local counter i"
+		out[i].Note = "iter"
+	}
+	return out
+}
+
+// Stamping from the engine cursors is the contract: clean.
+func buildEngine(e *engine, n int) []record {
+	var out []record
+	for i := 0; i < n; i++ {
+		out = append(out, record{Seq: e.Seq(), Time: e.Now()})
+	}
+	return out
+}
+
+// Counters landing in non-stamp fields are fine: clean.
+func buildNotes(n int) []record {
+	var out []record
+	for i := 0; i < n; i++ {
+		out = append(out, record{Note: "n", Seq: 0})
+	}
+	return out
+}
+
+// A cursor threaded in as a parameter is not a local counter: clean.
+func buildFromCursor(seq uint64, n int) []record {
+	var out []record
+	for i := 0; i < n; i++ {
+		out = append(out, record{Seq: seq})
+		seq++
+	}
+	return out
+}
