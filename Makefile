@@ -7,7 +7,7 @@ GO ?= go
 # like.
 BENCH_COMPARE_TOLERANCE ?= 0.5
 
-.PHONY: ci fmt vet lint lint-fix build test test-parallel bench bench-smoke bench-compare
+.PHONY: ci fmt vet lint lint-fix build test test-parallel bench bench-smoke bench-compare prof-smoke
 
 # lint runtime budget: the interprocedural analysis (module load, summary
 # fixpoint, rules) must finish inside this wall-clock bound or the target
@@ -16,9 +16,9 @@ LINT_BUDGET ?= 10s
 
 # Full gate: formatting, go vet, build, hpnlint determinism/invariant rules,
 # tests under the race detector (serial and parallel-allocator passes), the
-# bench/forensics smoke run, and the perf comparison against the last
-# committed snapshot.
-ci: fmt vet build lint test test-parallel bench-smoke bench-compare
+# bench/forensics smoke run, the self-profiler smoke run, and the perf
+# comparison against the last committed snapshot.
+ci: fmt vet build lint test test-parallel bench-smoke prof-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -78,6 +78,26 @@ bench-smoke:
 	   $$tmp/forensics/imbalance.tsv $$tmp/forensics/polarization.tsv >/dev/null; \
 	rm -rf $$tmp; \
 	echo "bench-smoke: OK"
+
+# Self-profiler smoke: one quick experiment with -prof on, then assert the
+# profiler artifacts landed, the core engine phases actually accumulated
+# (every emitted prof.tsv row must carry a nonzero count — zero-count
+# phases are omitted by contract, so a zero here means the export path
+# broke), and the hpnprof report/compare pipeline round-trips: a profile
+# compared against itself must exit 0.
+prof-smoke:
+	@tmp=$$(mktemp -d); \
+	set -e; \
+	$(GO) run ./cmd/hpnbench -exp fig13 -scale quick -prof $$tmp/artifacts >/dev/null; \
+	ls $$tmp/artifacts/prof.tsv $$tmp/artifacts/prof.json $$tmp/artifacts/flight.tsv >/dev/null; \
+	awk -F'\t' 'NR>1 { seen[$$1]=1; if ($$2+0 <= 0) { print "prof-smoke: zero-count phase " $$1; bad=1 } } \
+		END { n=split("sim/run sim/dispatch netsim/recompute netsim/decompose netsim/fill netsim/heap_ops", req, " "); \
+		for (i=1; i<=n; i++) if (!seen[req[i]]) { print "prof-smoke: phase " req[i] " missing from prof.tsv"; bad=1 } exit bad }' \
+		$$tmp/artifacts/prof.tsv; \
+	$(GO) run ./cmd/hpnprof $$tmp/artifacts/prof.json >/dev/null; \
+	$(GO) run ./cmd/hpnprof -compare $$tmp/artifacts/prof.json $$tmp/artifacts/prof.json >/dev/null; \
+	rm -rf $$tmp; \
+	echo "prof-smoke: OK"
 
 # Perf regression gate: take a fresh quick fig13 snapshot and compare it
 # against the newest committed bench/BENCH_*.json with hpnbench's own

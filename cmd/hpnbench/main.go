@@ -20,8 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
-	"strings"
+	"runtime/pprof"
 	"time"
 
 	"hpn"
@@ -41,8 +40,24 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two BENCH snapshots: hpnbench -compare old.json new.json")
 		tol      = flag.Float64("tolerance", 0.10, "with -compare: flows/sec may drop by this fraction before a scenario counts as regressed")
 		useMemo  = flag.String("memo", "off", "iteration memoization on every cluster: on | off (fast-forward repeated steady-state iterations; disables periodic sampling)")
+		profTo   = flag.String("prof", "", "enable engine self-profiling on every cluster; write prof.tsv/json (render with hpnprof) and flight.tsv into this directory after the sweep")
+		cpuOut   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep to this file")
+		memOut   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpnbench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hpnbench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	memoOn := false
 	switch *useMemo {
@@ -78,19 +93,23 @@ func main() {
 	}
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || *benchOut != "" || memoOn {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || *benchOut != "" || *profTo != "" || memoOn {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
 		opt.Inband = *inbandTo != ""
 		opt.Health = *healthTo != ""
 		opt.Memo = memoOn
+		opt.Prof = *profTo != ""
 		// Experiments build many clusters; bound the trace and the in-band
 		// stream so a full sweep cannot exhaust memory.
 		opt.MaxTraceEvents = 2_000_000
 		opt.InbandMax = 2_000_000
 		if *traceOut == "" && *promOut == "" && *inbandTo == "" && *healthTo == "" {
-			// -benchout alone: counters only, no sampler daemons perturbing
-			// the measured runs.
+			// -benchout and/or -prof alone: counters only, no sampler
+			// daemons perturbing the measured runs — the self-profiler
+			// accumulates at instrumentation points and needs no periodic
+			// ticks, and a perf measurement should not pay for sampling
+			// nobody asked for.
 			opt.SampleInterval = 0
 		}
 		if memoOn && opt.SampleInterval != 0 {
@@ -186,8 +205,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "hpnbench: trace: %v\n", err)
 				failed++
 			} else {
-				fmt.Printf("wrote %s (%d events, %d dropped)\n",
-					*traceOut, hub.Tracer.Events(), hub.Tracer.Dropped())
+				// Drops surface through the shared OverflowWarnings pass
+				// below, same as hpnsim.
+				fmt.Printf("wrote %s (%d events)\n", *traceOut, hub.Tracer.Events())
 			}
 		}
 		if *promOut != "" {
@@ -200,7 +220,7 @@ func main() {
 				fmt.Printf("wrote %s\n", *promOut)
 			}
 		}
-		for _, dir := range artifactDirs(*inbandTo, *healthTo) {
+		for _, dir := range artifactDirs(*inbandTo, *healthTo, *profTo) {
 			paths, err := hub.WriteArtifacts(dir)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hpnbench: artifacts: %v\n", err)
@@ -210,8 +230,18 @@ func main() {
 				fmt.Printf("wrote %s\n", p)
 			}
 		}
-		if dropped := metricSum(hub, "netsim_inband_dropped_records"); dropped > 0 {
-			fmt.Fprintf(os.Stderr, "hpnbench: warning: in-band collectors dropped %.0f per-hop records (cap reached); inband.tsv under-reports — raise InbandMax\n", dropped)
+		for _, w := range hpn.OverflowWarnings(hub) {
+			fmt.Fprintln(os.Stderr, "hpnbench:", w)
+		}
+	}
+	if *memOut != "" {
+		if err := writeFile(*memOut, func(f *os.File) error {
+			return pprof.Lookup("allocs").WriteTo(f, 0)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "hpnbench: memprofile: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s\n", *memOut)
 		}
 	}
 	if failed > 0 {
@@ -245,37 +275,7 @@ type benchSnapshot struct {
 // hub registry (one per attached cluster, prefixed c2_, c3_, ... past the
 // first). Returns 0 without a hub.
 func flowsCompleted(hub *hpn.TelemetryHub) float64 {
-	return metricSum(hub, "netsim_flows_completed_total")
-}
-
-// metricSum sums every registry metric whose name ends in suffix across
-// all attached clusters. Returns 0 without a hub.
-func metricSum(hub *hpn.TelemetryHub, suffix string) float64 {
-	if hub == nil {
-		return 0
-	}
-	var b strings.Builder
-	if err := hub.Registry.WriteJSON(&b); err != nil {
-		return 0
-	}
-	var metrics map[string]float64
-	if err := json.Unmarshal([]byte(b.String()), &metrics); err != nil {
-		return 0
-	}
-	// Sum in sorted name order: float addition is not associative, so a
-	// map-order reduction would drift bitwise between same-seed runs.
-	names := make([]string, 0, len(metrics))
-	for name := range metrics {
-		if strings.HasSuffix(name, suffix) {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	var total float64
-	for _, name := range names {
-		total += metrics[name]
-	}
-	return total
+	return hpn.MetricSum(hub, "netsim_flows_completed_total")
 }
 
 // artifactDirs deduplicates the artifact output directories (both -inband

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"hpn"
@@ -30,8 +31,22 @@ func main() {
 		inbandTo = flag.String("inband", "", "enable in-band path telemetry and write run artifacts (per-hop inband.tsv/json, flow log, samples) into this directory")
 		healthTo = flag.String("health", "", "enable online fabric health monitoring and write run artifacts (incidents.tsv/json causal timeline; render with hpndoctor) into this directory")
 		useMemo  = flag.String("memo", "off", "iteration memoization: on | off (fast-forward repeated steady-state iterations; disables periodic sampling)")
+		profTo   = flag.String("prof", "", "enable engine self-profiling and write run artifacts (prof.tsv/json phase breakdown — render with hpnprof — and the flight.tsv incident event ring) into this directory")
+		cpuOut   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memOut   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	memoOn := false
 	switch *useMemo {
@@ -44,12 +59,13 @@ func main() {
 	}
 
 	var hub *hpn.TelemetryHub
-	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || memoOn {
+	if *traceOut != "" || *promOut != "" || *inbandTo != "" || *healthTo != "" || *profTo != "" || memoOn {
 		opt := hpn.DefaultTelemetryOptions()
 		opt.Trace = *traceOut != ""
 		opt.Inband = *inbandTo != ""
 		opt.Health = *healthTo != ""
 		opt.Memo = memoOn
+		opt.Prof = *profTo != ""
 		if memoOn && opt.SampleInterval != 0 {
 			// The sampler's periodic daemon tick would land inside every
 			// candidate window and block memoization entirely.
@@ -142,8 +158,8 @@ func main() {
 	if tr.FirstErr != nil {
 		fmt.Fprintf(os.Stderr, "hpnsim: warning: sync-phase launch error (first recorded; count in workload_sync_errors_total): %v\n", tr.FirstErr)
 	}
-	if ib := c.Net.Inband(); ib != nil && ib.Dropped() > 0 {
-		fmt.Fprintf(os.Stderr, "hpnsim: warning: in-band collector dropped %d per-hop records (cap reached); inband.tsv under-reports — raise InbandMax\n", ib.Dropped())
+	for _, w := range hpn.OverflowWarnings(hub) {
+		fmt.Fprintln(os.Stderr, "hpnsim:", w)
 	}
 
 	if hub != nil {
@@ -164,7 +180,7 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *promOut)
 		}
-		for _, dir := range artifactDirs(*inbandTo, *healthTo) {
+		for _, dir := range artifactDirs(*inbandTo, *healthTo, *profTo) {
 			paths, err := hub.WriteArtifacts(dir)
 			if err != nil {
 				fail(err)
@@ -173,6 +189,14 @@ func main() {
 				fmt.Printf("wrote %s\n", p)
 			}
 		}
+	}
+	if *memOut != "" {
+		if err := writeFile(*memOut, func(f *os.File) error {
+			return pprof.Lookup("allocs").WriteTo(f, 0)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *memOut)
 	}
 }
 

@@ -16,6 +16,12 @@ var goldenArtifactNames = []string{
 	"incidents.tsv", "incidents.json",
 }
 
+// goldenWithFlight adds the flight recorder dump for the same-config gates.
+// The memo differential gates keep the base set: replay re-feeds observers,
+// not the netsim emission sites that note into the flight ring, so memo-on
+// vs memo-off flight contents legitimately differ.
+var goldenWithFlight = append(append([]string{}, goldenArtifactNames...), "flight.tsv")
+
 // goldenArtifacts runs one fully instrumented training simulation — small
 // HPN cluster, telemetry hub attached, flow log, in-band path telemetry
 // and the online health monitor on, a cable failure injected mid-run — and
@@ -30,6 +36,10 @@ func goldenArtifacts(t *testing.T, tune ...func(c *Cluster)) map[string][]byte {
 	opt := DefaultTelemetryOptions()
 	opt.Inband = true
 	opt.Health = true
+	// Profiling on, deliberately: the golden gate proves the profiler and
+	// flight recorder never perturb the byte streams, and flight.tsv itself
+	// joins the compared set (wall-carrying prof.tsv/json stay out).
+	opt.Prof = true
 	hub := NewTelemetryHub(opt)
 	c, err := NewHPN(SmallHPN(1, 8, 8))
 	if err != nil {
@@ -85,6 +95,7 @@ func goldenArtifacts(t *testing.T, tune ...func(c *Cluster)) map[string][]byte {
 	capture("inband.json", c.Net.Inband().WriteJSON)
 	capture("incidents.tsv", m.WriteTSV)
 	capture("incidents.json", m.WriteJSON)
+	capture("flight.tsv", hub.Flight.WriteTSV)
 	return out
 }
 
@@ -138,8 +149,11 @@ func TestGoldenDeterminism(t *testing.T) {
 	if bytes.Count(run1["incidents.tsv"], []byte("\n")) < 2 {
 		t.Fatal("incidents TSV has no rows; the health monitor recorded nothing")
 	}
+	if bytes.Count(run1["flight.tsv"], []byte("\n")) < 2 {
+		t.Fatal("flight TSV has no rows; the recorder captured no events around the incident")
+	}
 
-	for _, name := range goldenArtifactNames {
+	for _, name := range goldenWithFlight {
 		if line, a, b := firstDivergence(run1[name], run2[name]); line != 0 {
 			t.Errorf("%s diverges between identical runs at line %d:\n  run1: %s\n  run2: %s",
 				name, line, a, b)
@@ -159,7 +173,7 @@ func TestGoldenDeterminismParallelFill(t *testing.T) {
 		c.Net.ParallelFillMinFlows = 1
 	})
 
-	for _, name := range goldenArtifactNames {
+	for _, name := range goldenWithFlight {
 		if line, a, b := firstDivergence(serial[name], par[name]); line != 0 {
 			t.Errorf("%s diverges between serial and parallel fill at line %d:\n  serial:   %s\n  parallel: %s",
 				name, line, a, b)
@@ -181,6 +195,11 @@ func memoArtifacts(t *testing.T, memoOn bool, iters int, tune ...func(c *Cluster
 	opt.Health = true
 	opt.SampleInterval = 0
 	opt.Memo = memoOn
+	// Profiling stays on through the memo gates too: phase timing must not
+	// perturb recorded windows or replay. flight.tsv is NOT captured here —
+	// replay does not re-run the netsim emission sites, so its contents
+	// differ between memo-on and memo-off by design.
+	opt.Prof = true
 	hub := NewTelemetryHub(opt)
 	c, err := NewHPN(SmallHPN(1, 8, 8))
 	if err != nil {

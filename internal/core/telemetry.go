@@ -40,6 +40,12 @@ func (c *Cluster) EnableTelemetry(h *telemetry.Hub) {
 	c.Eng.SetTracer(tr)
 	c.Net.AttachTelemetry(tr, h.Registry, prefix)
 	c.Net.R.Tracer = tr
+	// Profiler before memo.Attach: the recorder reads Sim.Prof for its own
+	// phases when it attaches.
+	if h.Prof != nil {
+		c.Eng.SetProfiler(h.Prof)
+		c.Net.AttachProfiler(h.Prof, h.Flight)
+	}
 	if h.Opt.Inband {
 		c.Net.EnableInband(h.Opt.InbandMax)
 	}

@@ -320,6 +320,12 @@ func (m *Monitor) openIncident(kind, subject string, start sim.Time, detail stri
 	})
 	m.openIdx[k] = len(m.incidents) - 1
 	m.ctrIncidents.Inc()
+	if m.Net.Flight != nil {
+		// Freeze the flight recorder's evidence window at the instant the
+		// detector fired: flight.tsv then carries the raw event context
+		// behind each incident, not just this detector summary.
+		m.Net.Flight.Mark(int64(start), kind+":"+subject)
+	}
 	return &m.incidents[len(m.incidents)-1]
 }
 

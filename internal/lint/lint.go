@@ -30,6 +30,9 @@
 //     helper that emits on it unguarded.
 //   - obsnil:     netsim.Observer callback sites must sit behind a
 //     nil-observer guard, with the same interprocedural obligation.
+//   - profnil:    prof.Flight recorder emission sites (Note/Mark) must sit
+//     behind a nil-recorder guard, with the same interprocedural
+//     obligation.
 //   - goorder:    goroutine results must be merged index-addressed or
 //     sorted, never by channel-receive order or shared-slice append.
 //   - floatacc:   no float accumulation whose reduction order depends on
@@ -59,6 +62,7 @@ const (
 	telemetryPath = "hpn/internal/telemetry"
 	simPath       = "hpn/internal/sim"
 	netsimPath    = "hpn/internal/netsim"
+	profPath      = "hpn/internal/prof"
 )
 
 // ChainFrame is one link of an interprocedural taint chain, from the
@@ -113,6 +117,7 @@ func AllRules() []Rule {
 		floateqRule{},
 		tracenilRule{},
 		obsnilRule{},
+		profnilRule{},
 		goorderRule{},
 		floataccRule{},
 		seqsourceRule{},

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// profnilRule enforces the self-profiler's flight-recorder cost contract,
+// the same bargain tracenil strikes for tracers: every emission call on a
+// *prof.Flight (Note, Mark) sits behind an explicit nil-recorder guard, so
+// a run without profiling enabled costs exactly one branch per emission
+// point — not the construction of subject strings and value arguments for
+// a recorder nobody holds. The methods are nil-safe, so nothing crashes
+// without the guard; what the rule protects is the "prof off means
+// near-zero overhead" guarantee on hot paths (flow completion, failure
+// injection, reroute passes).
+//
+// Recognized guard shapes match guardedNotNil (rule_tracenil.go):
+//
+//	if X != nil { ... X.Note(...) ... }      // enclosing-if form
+//	if X == nil { return }; ...; X.Mark(...) // early-return form
+//
+// Package prof itself is exempt: it owns the nil-safety. Phase and
+// Profiler methods (Begin/End/Add/Phase...) carry no guard obligation —
+// they take no constructed arguments, so the nil check inside the callee
+// is already the whole cost.
+//
+// Like tracenil, the rule is interprocedural: a helper that emits on a
+// flight parameter without guarding it exports the obligation to its
+// callers, so passing a possibly-nil recorder to such a helper unguarded
+// is reported at the call site with the chain down to the emission.
+type profnilRule struct{}
+
+func (profnilRule) Name() string { return "profnil" }
+func (profnilRule) Doc() string {
+	return "flight-recorder emission calls (Note/Mark) must sit behind a nil-recorder guard, including through helpers emitting on a flight parameter"
+}
+
+// flightEmitMethods are the per-event emission entry points; Windows and
+// WriteTSV run once per export and are exempt.
+var flightEmitMethods = map[string]bool{
+	"Note": true,
+	"Mark": true,
+}
+
+func (profnilRule) Check(p *Pass) {
+	if p.Pkg.ImportPath == profPath {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				checkParamEmitCall(p, call, stack, "profnil", "flight recorder")
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isFlightEmitMethod(fn) {
+				checkParamEmitCall(p, call, stack, "profnil", "flight recorder")
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if guardedNotNil(stack, call, recv) {
+				return true
+			}
+			p.Reportf(call.Pos(), "profnil",
+				"%s.%s() is not behind a nil-recorder guard; wrap it in `if %s != nil { ... }` (or early-return on nil) so a run without profiling costs one branch",
+				recv, fn.Name(), recv)
+			return true
+		})
+	}
+}
+
+// isFlightEmitMethod reports whether fn is a Note/Mark method declared on
+// prof.Flight.
+func isFlightEmitMethod(fn *types.Func) bool {
+	if funcPkgPath(fn) != profPath || !flightEmitMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Flight"
+}

@@ -118,6 +118,8 @@ func (prog *Program) collectCallFacts(fi *FuncInfo, call *ast.CallExpr, stack []
 					rule = "tracenil"
 				} else if isObserverMethod(fn) {
 					rule = "obsnil"
+				} else if isFlightEmitMethod(fn) && fi.Pkg.ImportPath != profPath {
+					rule = "profnil"
 				}
 				if rule != "" && !guardedNotNil(stack, call, recvID.Name) &&
 					!prog.allowedAt(fi.Pkg, call.Pos(), rule) {

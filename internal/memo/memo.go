@@ -42,6 +42,7 @@ import (
 	"hpn/internal/hashing"
 	"hpn/internal/inband"
 	"hpn/internal/netsim"
+	"hpn/internal/prof"
 	"hpn/internal/route"
 	"hpn/internal/sim"
 	"hpn/internal/telemetry"
@@ -210,6 +211,11 @@ type Recorder struct {
 	hits, misses, blocked, invalidations, replayed int64
 
 	ctrHits, ctrMisses, ctrBlocked, ctrInvalidations, ctrReplayed *telemetry.Counter
+
+	// Profiler phases (nil when the simulator has no profiler attached).
+	// lookup/replay are timed; fast_forward is count-only — the jump itself
+	// is a handful of field writes, not worth a time.Now pair.
+	phLookup, phReplay, phFF *prof.Phase
 }
 
 // Stats is a point-in-time summary of recorder activity.
@@ -247,7 +253,19 @@ func Attach(s *netsim.Sim) *Recorder {
 		r.ctrReplayed = s.Reg.Counter(p+"memo_replayed_iterations_total", "iterations fast-forwarded from the cache")
 		s.Reg.Gauge(p+"memo_cached_windows", "recorded iteration windows held in the cache",
 			func() float64 { return float64(len(r.cache)) })
+		// Stats as gauges alongside the counters: gauges stay out of the
+		// recorder's own metrics snapshots (counters/histograms only), so
+		// these views are replay-safe and cheap to read from dashboards.
+		s.Reg.Gauge(p+"memo_hits", "live view of Stats.Hits (cache hits)",
+			func() float64 { return float64(r.Stats().Hits) })
+		s.Reg.Gauge(p+"memo_misses", "live view of Stats.Misses (cache misses)",
+			func() float64 { return float64(r.Stats().Misses) })
+		s.Reg.Gauge(p+"memo_invalidations", "live view of Stats.Invalidations (cache drops)",
+			func() float64 { return float64(r.Stats().Invalidations) })
 	}
+	r.phLookup = s.Prof.Phase("memo/lookup", "fingerprint cache lookups (hit, miss or blocked)")
+	r.phReplay = s.Prof.PhaseAlloc("memo/replay", "window replays: observer re-feed, trace re-emit, fast-forward")
+	r.phFF = s.Prof.Phase("memo/fast_forward", "engine fast-forward jumps (count-only)")
 	return r
 }
 
@@ -531,6 +549,7 @@ func (r *Recorder) Lookup(fp uint64) *Window {
 	if r == nil {
 		return nil
 	}
+	defer r.phLookup.End(r.phLookup.Begin())
 	w := r.cache[fp]
 	if w == nil {
 		r.misses++
@@ -561,6 +580,7 @@ func (r *Recorder) Lookup(fp uint64) *Window {
 // first half of the feed precedes liveFn so observers are current when
 // the live section reads them.
 func (r *Recorder) Replay(w *Window, liveFn func(now sim.Time, comm float64)) {
+	defer r.phReplay.End(r.phReplay.Begin())
 	t0 := r.eng.Now()
 	dt := t0 - w.baseT
 	did := r.net.NextFlowID() - w.baseID
@@ -587,6 +607,7 @@ func (r *Recorder) Replay(w *Window, liveFn func(now sim.Time, comm float64)) {
 	if c := r.net.Inband(); c != nil {
 		c.AppendReplayed(shiftIB(w.ib2, dt, did))
 	}
+	r.phFF.Add(1)
 	r.eng.FastForward(t0+w.dur, w.seqDelta, w.procDelta)
 	r.net.AdvanceFlowIDs(w.idDelta)
 	r.net.AddReplayedStats(w.statFlows, w.statBits, w.statAgg, w.statCore)

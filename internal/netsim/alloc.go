@@ -119,6 +119,7 @@ const defaultParallelMinFlows = 192
 // flows, refreshes probe accumulators, and (re-)arms the next completion
 // event. See the file comment for the algorithm.
 func (s *Sim) recompute() {
+	rtk := s.phRecompute.Begin()
 	s.curEpoch++
 	s.touched = s.touched[:0]
 	s.ctrRecomputes.Inc()
@@ -161,6 +162,7 @@ func (s *Sim) recompute() {
 	// Component decomposition: components are created in active-flow order
 	// (the first — smallest-indexed — flow of each component names it), so
 	// the component list and everything derived from it is deterministic.
+	dtk := s.phDecompose.Begin()
 	s.comps = s.comps[:0]
 	if cap(s.frozen) < len(unfrozen) {
 		s.frozen = make([]bool, len(unfrozen))
@@ -183,15 +185,18 @@ func (s *Sim) recompute() {
 		c := &s.comps[s.compOf[s.find(int32(lk))]]
 		c.links = append(c.links, lk)
 	}
+	s.phDecompose.End(dtk)
 
 	// Fill each component independently — in parallel when the flow set is
 	// big enough and more than one worker is available.
+	ftk := s.phFill.Begin()
 	if workers := s.fillWorkers(); workers > 1 {
 		s.ensureHeaps(workers)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			h := &s.heaps[w]
+			shard := w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -200,17 +205,20 @@ func (s *Sim) recompute() {
 					if i >= len(s.comps) {
 						return
 					}
-					s.comps[i].minT = s.fillComponent(&s.comps[i], h)
+					s.comps[i].minT = s.fillComponent(&s.comps[i], h, shard)
 				}
 			}()
 		}
+		wtk := s.phMergeWait.Begin()
 		wg.Wait()
+		s.phMergeWait.End(wtk)
 	} else {
 		s.ensureHeaps(1)
 		for i := range s.comps {
-			s.comps[i].minT = s.fillComponent(&s.comps[i], &s.heaps[0])
+			s.comps[i].minT = s.fillComponent(&s.comps[i], &s.heaps[0], 0)
 		}
 	}
+	s.phFill.End(ftk)
 	// Deterministic merge: exact float min over components in creation
 	// order. The result does not depend on which worker filled what.
 	best := -1.0
@@ -245,6 +253,7 @@ func (s *Sim) recompute() {
 	}
 
 	s.scheduleCompletion(best)
+	s.phRecompute.End(rtk)
 }
 
 // fillWorkers decides the fill parallelism for this recompute: 1 unless
@@ -286,7 +295,10 @@ func (s *Sim) ensureHeaps(n int) {
 // earliest projected completion in seconds (-1 if none). It reads and
 // writes only the component's own flows and links (plus the worker-private
 // heap), which is what makes parallel component fills race-free and
-// schedule-independent.
+// schedule-independent. shard is the caller's worker index: heap operations
+// are tallied locally and flushed once into that profiler shard, so the hot
+// loop costs nothing extra and concurrent workers never share a counter
+// cache line.
 //
 // Invariant behind the lazy heap: freezing a flow at the current bottleneck
 // share can only raise the share of every link it crosses, so a popped
@@ -294,7 +306,8 @@ func (s *Sim) ensureHeaps(n int) {
 // is re-pushed at its current value; a fresh pop is the exact component-wide
 // minimum (every other link's current share is at least its heap key). The
 // tie tolerance matches the reference implementation's freeze threshold.
-func (s *Sim) fillComponent(c *allocComp, h *linkHeap) float64 {
+func (s *Sim) fillComponent(c *allocComp, h *linkHeap, shard int) float64 {
+	heapOps := int64(0)
 	hs := (*h)[:0]
 	for _, lk := range c.links {
 		if n := s.nShare[lk]; n > 0 {
@@ -313,6 +326,7 @@ func (s *Sim) fillComponent(c *allocComp, h *linkHeap) float64 {
 		e := (*h)[0]
 		n := s.nShare[e.link]
 		if n == 0 {
+			heapOps++
 			h.popDiscard() // fully drained by earlier freezes
 			continue
 		}
@@ -320,10 +334,12 @@ func (s *Sim) fillComponent(c *allocComp, h *linkHeap) float64 {
 		if cur > e.share*(1+1e-9)+1e-9 {
 			// Stale: the share grew since the entry was keyed. Re-key it in
 			// place and restore the invariant with a single sift.
+			heapOps++
 			(*h)[0].share = cur
 			(*h).siftDown(0)
 			continue
 		}
+		heapOps++
 		h.popDiscard()
 		for _, fi := range s.inc[e.link] {
 			if s.frozen[fi] {
@@ -365,6 +381,7 @@ func (s *Sim) fillComponent(c *allocComp, h *linkHeap) float64 {
 			s.nShare[l2]--
 		}
 	}
+	s.phHeapOps.AddShard(heapOps, shard)
 	return minT
 }
 

@@ -220,7 +220,7 @@ func TestFillComponentDefensiveSweep(t *testing.T) {
 
 	c := allocComp{flows: []int32{0}, links: nil} // link list deliberately broken
 	s.ensureHeaps(1)
-	minT := s.fillComponent(&c, &s.heaps[0])
+	minT := s.fillComponent(&c, &s.heaps[0], 0)
 
 	if f.Rate != 0 {
 		t.Fatalf("swept flow kept stale rate %v, want 0", f.Rate)

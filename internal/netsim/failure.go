@@ -21,6 +21,9 @@ func (s *Sim) FailCable(l topo.LinkID) {
 	if s.obs != nil {
 		s.obs.LinkEvent(now, l, false)
 	}
+	if s.Flight != nil {
+		s.Flight.Note(int64(now), "link_down", s.flightLinkSubject(l), int64(l), 0)
+	}
 	rev := s.Top.Link(l).Reverse
 	for _, f := range s.active {
 		if pathHasLink(f.Path, l) || pathHasLink(f.Path, rev) {
@@ -45,6 +48,9 @@ func (s *Sim) RecoverCable(l topo.LinkID) {
 	if s.obs != nil {
 		s.obs.LinkEvent(s.Eng.Now(), l, true)
 	}
+	if s.Flight != nil {
+		s.Flight.Note(int64(s.Eng.Now()), "link_up", s.flightLinkSubject(l), int64(l), 0)
+	}
 	s.scheduleReroute(200 * sim.Millisecond)
 }
 
@@ -60,6 +66,9 @@ func (s *Sim) FailNode(n topo.NodeID) {
 		telemetry.Arg{K: "name", V: s.Top.Node(n).Name})
 	if s.obs != nil {
 		s.obs.NodeEvent(now, n, false)
+	}
+	if s.Flight != nil {
+		s.Flight.Note(int64(now), "node_down", s.Top.Node(n).Name, int64(n), 0)
 	}
 	for _, f := range s.active {
 		for _, lk := range f.Path {
@@ -85,6 +94,9 @@ func (s *Sim) RecoverNode(n topo.NodeID) {
 		telemetry.Arg{K: "name", V: s.Top.Node(n).Name})
 	if s.obs != nil {
 		s.obs.NodeEvent(s.Eng.Now(), n, true)
+	}
+	if s.Flight != nil {
+		s.Flight.Note(int64(s.Eng.Now()), "node_up", s.Top.Node(n).Name, int64(n), 0)
 	}
 	s.scheduleReroute(200 * sim.Millisecond)
 }
@@ -124,6 +136,9 @@ func (s *Sim) reroutePass() {
 		telemetry.Arg{K: "still_stalled", V: still > 0})
 	if s.obs != nil {
 		s.obs.RerouteDone(s.Eng.Now(), moved, still)
+	}
+	if s.Flight != nil {
+		s.Flight.Note(int64(s.Eng.Now()), "reroute", "", int64(moved), int64(still))
 	}
 	// If flows are still stuck and the fabric is still reconverging (e.g. a
 	// second failure landed during the pass), try once more afterwards.
@@ -168,5 +183,16 @@ func (s *Sim) retryReroute() {
 		if s.obs != nil {
 			s.obs.RerouteDone(s.Eng.Now(), moved, still)
 		}
+		if s.Flight != nil {
+			s.Flight.Note(int64(s.Eng.Now()), "reroute_retry", "", int64(moved), int64(still))
+		}
 	})
+}
+
+// flightLinkSubject names a cable for flight-recorder rows. Only called
+// from guarded emission sites on (rare) topology transitions, so the
+// string concatenation never touches a hot path.
+func (s *Sim) flightLinkSubject(l topo.LinkID) string {
+	lk := s.Top.Link(l)
+	return s.Top.Node(lk.From).Name + "->" + s.Top.Node(lk.To).Name
 }

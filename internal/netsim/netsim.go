@@ -20,6 +20,7 @@ import (
 
 	"hpn/internal/hashing"
 	"hpn/internal/inband"
+	"hpn/internal/prof"
 	"hpn/internal/route"
 	"hpn/internal/sim"
 	"hpn/internal/telemetry"
@@ -178,6 +179,19 @@ type Sim struct {
 	ctrReroutes   *telemetry.Counter
 	ctrLinkEvents *telemetry.Counter
 	histFCT       *telemetry.Histogram
+
+	// Engine self-observability (nil = disabled; see AttachProfiler). Prof
+	// and Flight are exported so memo and health reach the shared instances
+	// through the Sim they already hold. Flight.Note sites follow the
+	// tracenil/obsnil guard discipline: arguments are built at the call
+	// site, so the site sits behind `if s.Flight != nil`.
+	Prof        *prof.Profiler
+	Flight      *prof.Flight
+	phRecompute *prof.Phase
+	phDecompose *prof.Phase
+	phFill      *prof.Phase
+	phMergeWait *prof.Phase
+	phHeapOps   *prof.Phase
 
 	// Stats
 	CompletedFlows int64
@@ -412,6 +426,7 @@ func (s *Sim) completionEvent() {
 		}
 		i++
 	}
+	var slowest sim.Time
 	for _, f := range done {
 		s.CompletedFlows++
 		s.CompletedBits += f.Bits
@@ -433,12 +448,26 @@ func (s *Sim) completionEvent() {
 		if s.obs != nil {
 			s.obs.FlowDone(now, f)
 		}
+		if s.Flight != nil {
+			if d := f.DoneAt - f.StartedAt; d > slowest {
+				slowest = d
+			}
+		}
 		if f.OnComplete != nil {
 			f.OnComplete(now, f)
 		}
 		if f.After != nil {
 			f.After(now)
 		}
+	}
+	if s.Flight != nil && len(done) > 0 {
+		// One note per harvest batch, not per flow: completions arrive at
+		// millions per second, so a per-flow note would both tax the hot
+		// path (~7% wall on fig13 quick, measured) and scroll the bounded
+		// ring so fast that a marked window held sub-millisecond context.
+		// Batch size and the slowest completion are the incident-relevant
+		// signals; per-flow truth lives in the flow log.
+		s.Flight.Note(int64(now), "flows_done", "", int64(len(done)), int64(slowest))
 	}
 	// Drop the harvested references before the next event so completed
 	// flows do not outlive their callbacks through the scratch slice.

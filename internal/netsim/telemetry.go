@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"hpn/internal/prof"
 	"hpn/internal/telemetry"
 )
 
@@ -40,6 +41,22 @@ func (s *Sim) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, pre
 		s.inband.AttachTracer(tr)
 		s.registerInbandExporters()
 	}
+}
+
+// AttachProfiler wires the allocator's phases into the engine profiler and
+// installs the flight recorder fed by the fabric-event emission sites.
+// Phase names are cluster-independent on purpose: several clusters
+// attached to one hub accumulate into the same phases, giving the process
+// view hpnprof reports (per-cluster attribution would need per-cluster
+// profiles, which nothing yet consumes). Pass nils to disable either half.
+func (s *Sim) AttachProfiler(p *prof.Profiler, fl *prof.Flight) {
+	s.Prof = p
+	s.Flight = fl
+	s.phRecompute = p.Phase("netsim/recompute", "max-min allocation rounds, end to end")
+	s.phDecompose = p.Phase("netsim/decompose", "union-find component decomposition within recompute")
+	s.phFill = p.Phase("netsim/fill", "progressive-filling section (serial or parallel)")
+	s.phMergeWait = p.Phase("netsim/merge_wait", "parallel fill: time the coordinator spent joining workers")
+	s.phHeapOps = p.Phase("netsim/heap_ops", "link-heap pops and stale re-keys during fills (count-only)")
 }
 
 // registerFlowLogExporter exposes the completed-flow TSV as a named

@@ -1,0 +1,131 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultCompareTolerance is the fraction a phase's ns/op may grow before
+// Compare counts it as regressed. Generous because wall time is noisy at
+// quick scales; tighten when comparing like-for-like hardware.
+const DefaultCompareTolerance = 0.25
+
+// DefaultCompareMinWallNS is the floor below which a phase is too cheap to
+// judge: sub-millisecond phases are dominated by timer and scheduler
+// noise, so they are reported but never count as regressions.
+const DefaultCompareMinWallNS = int64(1e6)
+
+// Compare diffs two profiles and writes a per-phase delta table: count,
+// wall, and ns per occurrence. It returns the number of regressions — a
+// phase present in both profiles, with at least minWallNS of old wall
+// time, whose ns/op grew by more than tolerance. Phases present on only
+// one side are listed but never count as regressions (the workloads
+// differ, not the code) — the same contract as hpnbench -compare.
+func Compare(oldP, newP *Profile, tolerance float64, minWallNS int64, w io.Writer) int {
+	newByName := map[string]PhaseStat{}
+	for _, st := range newP.Phases {
+		newByName[st.Name] = st
+	}
+	oldNames := map[string]bool{}
+
+	fmt.Fprintf(w, "prof compare: gomaxprocs %d -> %d, tolerance %.0f%%, min wall %.1fms\n",
+		oldP.GoMaxProcs, newP.GoMaxProcs, tolerance*100, float64(minWallNS)/1e6)
+	fmt.Fprintf(w, "%-24s %12s %12s %12s %12s %12s %12s %8s\n",
+		"phase", "count_old", "count_new",
+		"wall_old", "wall_new", "ns/op_old", "ns/op_new", "d_nsop")
+
+	regressions := 0
+	for _, o := range oldP.Phases {
+		oldNames[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %12d %12s   (phase missing from new profile)\n",
+				o.Name, o.Count, "-")
+			continue
+		}
+		oldNS, newNS := nsPerOp(o), nsPerOp(n)
+		status := ""
+		if o.WallNS >= minWallNS && oldNS > 0 && newNS > oldNS*(1+tolerance) {
+			status = "  REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-24s %12d %12d %12s %12s %12.0f %12.0f %7.1f%%%s\n",
+			o.Name, o.Count, n.Count,
+			fmtWall(o.WallNS), fmtWall(n.WallNS),
+			oldNS, newNS, pctDelta(oldNS, newNS), status)
+	}
+	for _, n := range newP.Phases {
+		if oldNames[n.Name] {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %12s %12d   (phase new in this profile)\n",
+			n.Name, "-", n.Count)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d phase(s) regressed beyond %.0f%% ns/op tolerance\n",
+			regressions, tolerance*100)
+	}
+	return regressions
+}
+
+// Report writes a single profile as a human-readable table sorted by wall
+// time descending, with each phase's share of the total.
+func Report(p *Profile, w io.Writer) {
+	phases := make([]PhaseStat, len(p.Phases))
+	copy(phases, p.Phases)
+	// Wall-descending order; ties broken by name so the report is stable.
+	sort.Slice(phases, func(i, j int) bool { return less(phases[i], phases[j]) })
+	var total int64
+	for _, st := range phases {
+		total += st.WallNS
+	}
+	fmt.Fprintf(w, "profile: %d phase(s), %s total attributed wall, gomaxprocs %d\n",
+		len(phases), fmtWall(total), p.GoMaxProcs)
+	fmt.Fprintf(w, "%-24s %12s %12s %12s %8s %12s\n",
+		"phase", "count", "wall", "ns/op", "share", "allocs")
+	for _, st := range phases {
+		share := 0.0
+		if total > 0 {
+			share = float64(st.WallNS) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "%-24s %12d %12s %12.0f %7.1f%% %12d\n",
+			st.Name, st.Count, fmtWall(st.WallNS), nsPerOp(st), share, st.Allocs)
+	}
+}
+
+func less(a, b PhaseStat) bool {
+	if a.WallNS != b.WallNS {
+		return a.WallNS > b.WallNS
+	}
+	return a.Name < b.Name
+}
+
+// nsPerOp is wall time per occurrence; 0 when the phase never ran.
+func nsPerOp(st PhaseStat) float64 {
+	if st.Count == 0 {
+		return 0
+	}
+	return float64(st.WallNS) / float64(st.Count)
+}
+
+// pctDelta returns the signed percent change from old to cur (0 when old
+// is not positive).
+func pctDelta(old, cur float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+// fmtWall renders nanoseconds with an adaptive unit.
+func fmtWall(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	}
+}

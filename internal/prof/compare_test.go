@@ -1,0 +1,89 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkProfile(phases ...PhaseStat) *Profile {
+	return &Profile{GoMaxProcs: 4, Phases: phases}
+}
+
+func TestCompareIdenticalClean(t *testing.T) {
+	p := mkProfile(
+		PhaseStat{Name: "netsim/recompute", Count: 100, WallNS: 50e6},
+		PhaseStat{Name: "sim/run", Count: 1, WallNS: 200e6},
+	)
+	var sb strings.Builder
+	if got := Compare(p, p, DefaultCompareTolerance, DefaultCompareMinWallNS, &sb); got != 0 {
+		t.Fatalf("identical profiles: %d regressions, want 0\n%s", got, sb.String())
+	}
+	if strings.Contains(sb.String(), "REGRESSED") {
+		t.Fatalf("identical profiles marked REGRESSED:\n%s", sb.String())
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	oldP := mkProfile(PhaseStat{Name: "netsim/recompute", Count: 100, WallNS: 50e6})
+	newP := mkProfile(PhaseStat{Name: "netsim/recompute", Count: 100, WallNS: 80e6})
+	var sb strings.Builder
+	if got := Compare(oldP, newP, 0.25, DefaultCompareMinWallNS, &sb); got != 1 {
+		t.Fatalf("60%% ns/op growth: %d regressions, want 1\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Fatalf("regression not flagged in table:\n%s", sb.String())
+	}
+}
+
+func TestCompareNormalizesByCount(t *testing.T) {
+	// Twice the wall at twice the count is the same ns/op — more work, not
+	// slower work. Must not regress.
+	oldP := mkProfile(PhaseStat{Name: "netsim/recompute", Count: 100, WallNS: 50e6})
+	newP := mkProfile(PhaseStat{Name: "netsim/recompute", Count: 200, WallNS: 100e6})
+	var sb strings.Builder
+	if got := Compare(oldP, newP, 0.25, DefaultCompareMinWallNS, &sb); got != 0 {
+		t.Fatalf("same ns/op at double count: %d regressions, want 0\n%s", got, sb.String())
+	}
+}
+
+func TestCompareMinWallFloor(t *testing.T) {
+	// 10x slower but only 50us of old wall: below the floor, noise, not a
+	// regression.
+	oldP := mkProfile(PhaseStat{Name: "memo/lookup", Count: 10, WallNS: 50e3})
+	newP := mkProfile(PhaseStat{Name: "memo/lookup", Count: 10, WallNS: 500e3})
+	var sb strings.Builder
+	if got := Compare(oldP, newP, 0.25, DefaultCompareMinWallNS, &sb); got != 0 {
+		t.Fatalf("sub-floor phase regressed: %d, want 0\n%s", got, sb.String())
+	}
+}
+
+func TestCompareDisjointPhasesNeverRegress(t *testing.T) {
+	oldP := mkProfile(PhaseStat{Name: "netsim/merge_wait", Count: 5, WallNS: 10e6})
+	newP := mkProfile(PhaseStat{Name: "memo/replay", Count: 5, WallNS: 10e6})
+	var sb strings.Builder
+	if got := Compare(oldP, newP, 0.25, DefaultCompareMinWallNS, &sb); got != 0 {
+		t.Fatalf("disjoint phases: %d regressions, want 0\n%s", got, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "missing from new profile") || !strings.Contains(out, "new in this profile") {
+		t.Fatalf("one-sided phases not listed:\n%s", out)
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := mkProfile(
+		PhaseStat{Name: "memo/lookup", Count: 10, WallNS: 1e6},
+		PhaseStat{Name: "sim/run", Count: 1, WallNS: 9e6},
+	)
+	var sb strings.Builder
+	Report(p, &sb)
+	out := sb.String()
+	runIdx := strings.Index(out, "sim/run")
+	lookupIdx := strings.Index(out, "memo/lookup")
+	if runIdx < 0 || lookupIdx < 0 || runIdx > lookupIdx {
+		t.Fatalf("report not wall-descending:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") {
+		t.Fatalf("share column wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,288 @@
+// Package prof is the engine's self-observability layer: an always-on,
+// zero-dependency phase profiler plus a bounded incident flight recorder.
+//
+// Where the telemetry package observes the simulated *fabric* (flows,
+// links, incidents), prof observes the *simulator*: how much host wall
+// time and how many heap allocations each engine phase consumed — event
+// dispatch, allocator recompute, heap maintenance, component
+// decomposition, parallel-fill merge wait, memo lookup/replay, artifact
+// flushing. That breakdown is what sharding and fidelity-granularity
+// decisions need before any partitioning is defensible.
+//
+// Determinism contract: phase *counts* are pure functions of the simulated
+// run and stay byte-identical across same-seed runs. Wall-time and
+// allocation fields are host measurements and are inherently
+// nondeterministic; they are segregated into the prof.tsv/prof.json
+// artifacts (excluded from the golden determinism set) and into registry
+// *gauges* — never counters — so the memo recorder's metrics snapshots
+// (counters + histograms only, see telemetry.MetricsSnapshot) can never
+// absorb a wall-clock value into a replayed window. This is the
+// LiveMetricsOwner-style exclusion for the registry view: gauges read live
+// profiler state and are excluded from recorded deltas by construction.
+//
+// Cost contract: every method is safe on a nil receiver, so the disabled
+// path costs one nil check per instrumentation point — the same bargain
+// telemetry.Counter strikes. Accumulation is lock-free: each Phase keeps a
+// small fixed array of cache-line-padded atomic slots; parallel fill
+// workers add into their own shard and the merge at export time is an
+// integer sum, which is order-independent and therefore deterministic.
+package prof
+
+import (
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// allocMetric is the runtime/metrics key for cumulative heap allocations
+// (objects). Reading it is far cheaper than runtime.ReadMemStats, but it
+// is still a process-global counter: allocation deltas are only
+// attributable for phases that run serially (run loop, replay, artifact
+// writers), which is why Phase tracks allocations only when registered
+// through PhaseAlloc.
+const allocMetric = "/gc/heap/allocs:objects"
+
+// shardCount is the number of independent accumulator slots per phase.
+// Parallel fill workers index by worker ID (masked), so concurrent End
+// calls almost never contend on one cache line. Power of two.
+const shardCount = 8
+
+// slot is one shard's accumulators, padded to a cache line so two workers
+// ending phases concurrently do not false-share.
+type slot struct {
+	count int64
+	wall  int64 // nanoseconds
+	alloc int64 // heap objects
+	_     [40]byte
+}
+
+// Phase is one named cost bucket. All methods are nil-safe; a nil Phase
+// (profiling disabled) costs one branch per call.
+type Phase struct {
+	name, help string
+	trackAlloc bool
+	slots      [shardCount]slot
+}
+
+// Token carries one Begin's start measurements to the matching End.
+type Token struct {
+	t0 time.Time
+	a0 uint64
+}
+
+// Begin starts one timed occurrence of the phase. Nil-safe: on a nil
+// phase it returns the zero Token, which End ignores.
+func (ph *Phase) Begin() Token {
+	if ph == nil {
+		return Token{}
+	}
+	tk := Token{t0: time.Now()} //hpnlint:allow wallclock -- host-cost profiling; wall values are segregated into prof artifacts and gauges, never simulator state
+	if ph.trackAlloc {
+		tk.a0 = readAllocs()
+	}
+	return tk
+}
+
+// End closes a Begin, accumulating into shard 0. Nil-safe; a zero Token
+// (from a Begin on a then-nil phase) is ignored.
+func (ph *Phase) End(tk Token) { ph.EndShard(tk, 0) }
+
+// EndShard closes a Begin into the given shard. Parallel workers pass
+// their worker index so concurrent phase ends do not contend.
+func (ph *Phase) EndShard(tk Token, shard int) {
+	if ph == nil || tk.t0.IsZero() {
+		return
+	}
+	wall := time.Since(tk.t0).Nanoseconds() //hpnlint:allow wallclock -- host-cost profiling; wall values are segregated into prof artifacts and gauges, never simulator state
+	var alloc int64
+	if ph.trackAlloc {
+		alloc = int64(readAllocs() - tk.a0)
+	}
+	s := &ph.slots[shard&(shardCount-1)]
+	atomic.AddInt64(&s.count, 1)
+	atomic.AddInt64(&s.wall, wall)
+	atomic.AddInt64(&s.alloc, alloc)
+}
+
+// Add accumulates n count-only occurrences (bulk dispatch counts, heap
+// operations tallied locally in a hot loop) into shard 0. Nil-safe.
+func (ph *Phase) Add(n int64) { ph.AddShard(n, 0) }
+
+// AddShard accumulates n count-only occurrences into the given shard.
+// Nil-safe.
+func (ph *Phase) AddShard(n int64, shard int) {
+	if ph == nil || n == 0 {
+		return
+	}
+	atomic.AddInt64(&ph.slots[shard&(shardCount-1)].count, n)
+}
+
+// Name returns the phase name ("" on nil).
+func (ph *Phase) Name() string {
+	if ph == nil {
+		return ""
+	}
+	return ph.name
+}
+
+// stat merges the shards. The merge is an integer sum in fixed shard
+// order: order-independent, so the counts are deterministic no matter
+// which worker filled which shard.
+func (ph *Phase) stat() PhaseStat {
+	st := PhaseStat{Name: ph.name, Help: ph.help}
+	for i := range ph.slots {
+		s := &ph.slots[i]
+		st.Count += atomic.LoadInt64(&s.count)
+		st.WallNS += atomic.LoadInt64(&s.wall)
+		st.Allocs += atomic.LoadInt64(&s.alloc)
+	}
+	return st
+}
+
+// readAllocs reads the process-lifetime heap allocation count (objects).
+func readAllocs() uint64 {
+	var s [1]metrics.Sample
+	s[0].Name = allocMetric
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+// GaugeRegistry is the slice of telemetry.Registry the profiler publishes
+// through, declared here so prof stays dependency-free (telemetry imports
+// prof, not the reverse).
+type GaugeRegistry interface {
+	Gauge(name, help string, fn func() float64)
+}
+
+// Profiler is a set of named phases. The zero value is not usable;
+// construct with New. All methods are nil-safe, so layers hold a nil
+// *Profiler while profiling is disabled and every Phase they register
+// comes back nil.
+type Profiler struct {
+	mu     sync.Mutex
+	phases map[string]*Phase
+	reg    GaugeRegistry
+	prefix string
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{phases: map[string]*Phase{}}
+}
+
+// Phase returns the phase registered under name, creating it on first use
+// (the help string of the first registration wins). A nil profiler
+// returns a nil (no-op) phase.
+func (p *Profiler) Phase(name, help string) *Phase {
+	return p.phase(name, help, false)
+}
+
+// PhaseAlloc is Phase with heap-allocation tracking enabled. Allocation
+// deltas are process-global, so only serial phases (run loop, replay,
+// artifact writers) should use it; a parallel phase would absorb its
+// siblings' allocations.
+func (p *Profiler) PhaseAlloc(name, help string) *Phase {
+	return p.phase(name, help, true)
+}
+
+func (p *Profiler) phase(name, help string, alloc bool) *Phase {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ph, ok := p.phases[name]; ok {
+		return ph
+	}
+	ph := &Phase{name: name, help: help, trackAlloc: alloc}
+	p.phases[name] = ph
+	if p.reg != nil {
+		p.registerGauges(ph)
+	}
+	return ph
+}
+
+// BindMetrics publishes every phase — current and future — as registry
+// gauges named <prefix><phase>_count, _wall_seconds and (alloc-tracked
+// phases) _allocs. Gauges, not counters, on purpose: the memo recorder's
+// snapshot/delta machinery covers counters and histograms only, so
+// wall-clock values can never leak into a replayed window's metrics
+// delta. Nil-safe.
+func (p *Profiler) BindMetrics(reg GaugeRegistry, prefix string) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	p.prefix = prefix
+	for _, name := range p.sortedNamesLocked() {
+		p.registerGauges(p.phases[name])
+	}
+}
+
+// registerGauges installs the per-phase gauge views. Callers hold p.mu.
+func (p *Profiler) registerGauges(ph *Phase) {
+	base := p.prefix + sanitizePhase(ph.name)
+	p.reg.Gauge(base+"_count", "profiler: occurrences of phase "+ph.name,
+		func() float64 { return float64(ph.stat().Count) })
+	p.reg.Gauge(base+"_wall_seconds", "profiler: host wall time in phase "+ph.name+" (nondeterministic)",
+		func() float64 { return float64(ph.stat().WallNS) / 1e9 })
+	if ph.trackAlloc {
+		p.reg.Gauge(base+"_allocs", "profiler: heap objects allocated in phase "+ph.name+" (nondeterministic)",
+			func() float64 { return float64(ph.stat().Allocs) })
+	}
+}
+
+// sanitizePhase maps a phase name onto the metric-name charset.
+func sanitizePhase(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if c == '/' || c == '-' || c == '.' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Snapshot returns the merged stats of every phase with a nonzero count,
+// sorted by name. Zero-count phases are omitted: a registered-but-unhit
+// phase (e.g. the parallel-fill merge on a run that never crossed the
+// parallel threshold) is configuration, not cost. Nil-safe (returns nil).
+func (p *Profiler) Snapshot() []PhaseStat {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	names := p.sortedNamesLocked()
+	phases := make([]*Phase, 0, len(names))
+	for _, n := range names {
+		phases = append(phases, p.phases[n])
+	}
+	p.mu.Unlock()
+	out := make([]PhaseStat, 0, len(phases))
+	for _, ph := range phases {
+		if st := ph.stat(); st.Count > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// sortedNamesLocked returns the phase names in sorted order. Iteration
+// over the phases map never reaches ordered output directly — every
+// export path goes through this sort, keeping artifacts deterministic.
+// Callers hold p.mu.
+func (p *Profiler) sortedNamesLocked() []string {
+	names := make([]string, 0, len(p.phases))
+	for n := range p.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"hpn/internal/prof"
 	"hpn/internal/telemetry"
 )
 
@@ -93,6 +94,12 @@ type Engine struct {
 	events eventHeap
 	fg     int // pending non-daemon events
 	tracer *telemetry.Tracer
+	// Profiler phases: phRun times whole Run/RunUntil/RunWhile invocations
+	// (never per-event — a time.Now pair per dispatch would dwarf the
+	// dispatch itself); phDispatch is count-only, fed from the Processed
+	// delta at loop exit.
+	phRun      *prof.Phase
+	phDispatch *prof.Phase
 	// Processed counts events executed so far; useful for runaway detection.
 	Processed uint64
 }
@@ -113,6 +120,15 @@ func (e *Engine) PendingWork() int { return e.fg }
 // SetTracer attaches a telemetry tracer; every dispatched event then emits
 // a zero-duration span on the engine track. Pass nil to disable.
 func (e *Engine) SetTracer(t *telemetry.Tracer) { e.tracer = t }
+
+// SetProfiler attaches the engine's phases to a profiler. Pass nil to
+// disable (the phases come back nil and every hook degrades to one nil
+// check). The dispatch count includes events credited by FastForward — it
+// mirrors Processed, so memo-on and memo-off runs report the same count.
+func (e *Engine) SetProfiler(p *prof.Profiler) {
+	e.phRun = p.Phase("sim/run", "event-loop invocations (Run/RunUntil/RunWhile); wall covers whole loops")
+	e.phDispatch = p.Phase("sim/dispatch", "events dispatched (count-only; includes fast-forward credits)")
+}
 
 // Schedule runs fn after delay. A negative delay is treated as zero (fn runs
 // at the current instant, after already-queued events for this instant).
@@ -218,14 +234,17 @@ func (e *Engine) Step() bool {
 // interleave while foreground events exist; once only daemons are left
 // they stay queued and Run returns.
 func (e *Engine) Run() {
+	tk, n0 := e.phRun.Begin(), e.Processed
 	for e.fg > 0 && e.Step() {
 	}
+	e.endRun(tk, n0)
 }
 
 // RunUntil fires events with timestamps <= deadline while foreground work
 // remains, then advances the clock to the deadline. Events scheduled
 // beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
+	tk, n0 := e.phRun.Begin(), e.Processed
 	for e.fg > 0 {
 		next := e.peek()
 		if next == nil {
@@ -239,13 +258,23 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.endRun(tk, n0)
 }
 
 // RunWhile fires events while cond() remains true and foreground work
 // remains.
 func (e *Engine) RunWhile(cond func() bool) {
+	tk, n0 := e.phRun.Begin(), e.Processed
 	for cond() && e.fg > 0 && e.Step() {
 	}
+	e.endRun(tk, n0)
+}
+
+// endRun closes one loop invocation: the elapsed wall into sim/run, the
+// Processed delta into sim/dispatch.
+func (e *Engine) endRun(tk prof.Token, n0 uint64) {
+	e.phDispatch.Add(int64(e.Processed - n0))
+	e.phRun.End(tk)
 }
 
 func (e *Engine) peek() *Event {

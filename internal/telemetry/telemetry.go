@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"hpn/internal/prof"
 )
 
 // Options configures a Hub.
@@ -42,6 +44,15 @@ type Options struct {
 	// Incompatible with periodic sampling — the sampler's tick would land
 	// inside every window; runners force SampleInterval to 0 under -memo.
 	Memo bool
+	// Prof enables engine self-profiling (internal/prof): per-phase
+	// wall/alloc/count accumulators across sim, netsim, memo and the
+	// artifact writers, a bounded flight recorder of recent fabric events,
+	// and the "prof.tsv"/"prof.json"/"flight.tsv" artifacts. Phase counts
+	// and flight contents are deterministic; wall/alloc fields are host
+	// measurements, published only through these artifacts and registry
+	// gauges (never counters), so golden artifacts and memo replay stay
+	// byte-identical with profiling on.
+	Prof bool
 }
 
 // DefaultOptions enables tracing and a 10ms-virtual-time sampler keeping
@@ -61,6 +72,11 @@ type Hub struct {
 	Opt      Options
 	Tracer   *Tracer // nil when tracing is disabled
 	Registry *Registry
+	// Prof and Flight are shared across every attached cluster (like the
+	// Tracer): phases accumulate process-wide, the flight ring interleaves
+	// all clusters' fabric events. Both nil when profiling is disabled.
+	Prof   *prof.Profiler
+	Flight *prof.Flight
 
 	mu       sync.Mutex
 	samplers []*Sampler
@@ -72,6 +88,14 @@ func NewHub(opt Options) *Hub {
 	h := &Hub{Opt: opt, Registry: NewRegistry()}
 	if opt.Trace {
 		h.Tracer = NewTracer(opt.MaxTraceEvents)
+	}
+	if opt.Prof {
+		h.Prof = prof.New()
+		h.Flight = prof.NewFlight(0)
+		h.Prof.BindMetrics(h.Registry, "prof_")
+		h.Registry.RegisterExporter("prof.tsv", h.Prof.WriteTSV)
+		h.Registry.RegisterExporter("prof.json", h.Prof.WriteJSON)
+		h.Registry.RegisterExporter("flight.tsv", h.Flight.WriteTSV)
 	}
 	return h
 }
@@ -122,7 +146,17 @@ func (h *Hub) WriteArtifacts(dir string) ([]string, error) {
 		if err != nil {
 			return paths, err
 		}
-		if err := h.Registry.Export(name, f); err != nil {
+		// Artifact writers get their own alloc-tracked phase each: flush
+		// cost per artifact is exactly what the prof report needs to weigh
+		// observability overhead against simulation time. The profiler's
+		// own artifacts participate too (their phases show up in the next
+		// run's report, or at zero count in their own — zero-count phases
+		// are omitted from output).
+		ph := h.Prof.PhaseAlloc("artifact/"+name, "exporting the "+name+" artifact")
+		tk := ph.Begin()
+		err = h.Registry.Export(name, f)
+		ph.End(tk)
+		if err != nil {
 			f.Close()
 			return paths, fmt.Errorf("telemetry: exporting %s: %w", name, err)
 		}
