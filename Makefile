@@ -7,7 +7,7 @@ GO ?= go
 # like.
 BENCH_COMPARE_TOLERANCE ?= 0.5
 
-.PHONY: ci fmt vet lint lint-fix build test test-parallel bench bench-smoke bench-compare prof-smoke
+.PHONY: ci fmt vet lint lint-fix build test test-parallel bench bench-smoke bench-shards bench-compare prof-smoke
 
 # lint runtime budget: the interprocedural analysis (module load, summary
 # fixpoint, rules) must finish inside this wall-clock bound or the target
@@ -18,7 +18,7 @@ LINT_BUDGET ?= 10s
 # tests under the race detector (serial and parallel-allocator passes), the
 # bench/forensics smoke run, the self-profiler smoke run, and the perf
 # comparison against the last committed snapshot.
-ci: fmt vet build lint test test-parallel bench-smoke prof-smoke bench-compare
+ci: fmt vet build lint test test-parallel bench-smoke prof-smoke bench-shards bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -98,6 +98,28 @@ prof-smoke:
 	$(GO) run ./cmd/hpnprof -compare $$tmp/artifacts/prof.json $$tmp/artifacts/prof.json >/dev/null; \
 	rm -rf $$tmp; \
 	echo "prof-smoke: OK"
+
+# Sharded-engine perf gate: fig13 (single-pod — the sharded machinery must
+# cost it nothing) and multipod (the sharded scenario itself), each run
+# serially (-shards 1) and with parallel shard windows (-shards 0 =
+# NumCPU), the pairs compared with hpnbench's own comparator (flags
+# precede the positional snapshot paths). The multipod experiment
+# hard-gates bit-identical simulated results internally; this target
+# gates that fanning windows out never costs flows/sec. Speedup is a
+# host property (needs >= 4 cores) and is claimed by the experiment, not
+# asserted here.
+bench-shards:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	for exp in fig13 multipod; do \
+		$(GO) run ./cmd/hpnbench -exp $$exp -scale quick -shards 1 -benchout $$tmp/$$exp-serial >/dev/null; \
+		$(GO) run ./cmd/hpnbench -exp $$exp -scale quick -shards 0 -benchout $$tmp/$$exp-par >/dev/null; \
+		echo "bench-shards: $$exp serial vs parallel"; \
+		$(GO) run ./cmd/hpnbench -compare -tolerance $(BENCH_COMPARE_TOLERANCE) \
+			$$tmp/$$exp-serial/BENCH_*.json $$tmp/$$exp-par/BENCH_*.json; \
+	done; \
+	rm -rf $$tmp; \
+	echo "bench-shards: OK"
 
 # Perf regression gate: take a fresh quick fig13 snapshot and compare it
 # against the newest committed bench/BENCH_*.json with hpnbench's own

@@ -30,7 +30,9 @@ func main() {
 		promOut  = flag.String("metrics", "", "write Prometheus-text metrics to this file")
 		inbandTo = flag.String("inband", "", "enable in-band path telemetry and write run artifacts (per-hop inband.tsv/json, flow log, samples) into this directory")
 		healthTo = flag.String("health", "", "enable online fabric health monitoring and write run artifacts (incidents.tsv/json causal timeline; render with hpndoctor) into this directory")
-		useMemo  = flag.String("memo", "off", "iteration memoization: on | off (fast-forward repeated steady-state iterations; disables periodic sampling)")
+		useMemo  = flag.String("memo", "off", "iteration memoization: on | off (fast-forward repeated steady-state iterations; disables periodic sampling; composes with -pods/-shards)")
+		pods     = flag.Int("pods", 1, "pods: >1 simulates each pod on its own engine shard under the conservative-window coordinator (-arch hpn only); every pod runs its own -hosts job plus a cross-pod gradient exchange")
+		shards   = flag.Int("shards", 1, "worker goroutines executing parallel shard windows (0 = NumCPU); needs -pods > 1; results are identical for every value")
 		profTo   = flag.String("prof", "", "enable engine self-profiling and write run artifacts (prof.tsv/json phase breakdown — render with hpnprof — and the flight.tsv incident event ring) into this directory")
 		cpuOut   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memOut   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -94,6 +96,20 @@ func main() {
 		os.Exit(2)
 	}
 	par := hpn.Parallelism{TP: *tp, PP: *pp, DP: gpus / (*tp * *pp)}
+
+	if *shards != 1 && *pods <= 1 {
+		fmt.Fprintln(os.Stderr, "hpnsim: -shards needs -pods > 1 (a single-pod fabric has nothing to shard)")
+		os.Exit(2)
+	}
+	if *pods > 1 {
+		if *arch != "hpn" {
+			fmt.Fprintf(os.Stderr, "hpnsim: sharded multi-pod runs support -arch hpn only, got %q\n", *arch)
+			os.Exit(2)
+		}
+		runSharded(hub, m, par, *pods, *shards, *hosts, *iters,
+			artifactDirs(*inbandTo, *healthTo, *profTo), *traceOut, *promOut, *memOut, *inbandTo != "")
+		return
+	}
 
 	var (
 		c   *hpn.Cluster
@@ -197,6 +213,104 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *memOut)
+	}
+}
+
+// runSharded is the -pods > 1 path: one engine shard per pod under the
+// conservative-window coordinator, one training job per pod, and the
+// cross-pod gradient exchange on the global domain.
+func runSharded(hub *hpn.TelemetryHub, m hpn.ModelSpec, par hpn.Parallelism,
+	pods, workers, hosts, iters int, dirs []string, traceOut, promOut, memOut string, flowLog bool) {
+	segHosts := hosts
+	if segHosts > 128 {
+		segHosts = 128
+	}
+	segments := (hosts + segHosts - 1) / segHosts
+	sc, err := hpn.NewShardedHPN(hpn.MultiPodHPN(pods, segments, segHosts, 16), hub)
+	if err != nil {
+		fail(err)
+	}
+	sc.SetWorkers(workers)
+	if flowLog {
+		sc.Global.Net.EnableFlowLog(0)
+		for _, pc := range sc.Pods {
+			pc.Net.EnableFlowLog(0)
+		}
+	}
+	st, err := hpn.NewShardedTrainer(sc, m, par)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s on %s: %d pods x %d GPUs (TP=%d PP=%d DP=%d), %d shard workers\n",
+		m.Name, sc.Arch, pods, par.GPUs(), par.TP, par.PP, par.DP, sc.Coord.Workers())
+	if err := st.Start(iters); err != nil {
+		fail(err)
+	}
+	sc.Run()
+
+	fmt.Printf("%-5s  %-12s  %-12s\n", "pod", "samples/s", "iterations")
+	for p, tr := range st.Trainers {
+		fmt.Printf("%-5d  %-12.1f  %-12d\n", p, tr.MeanSamplesPerSecond(), tr.Iterations)
+	}
+	fmt.Printf("cross-pod rounds: %d (%.4fs total), windows: %d, cross-domain posts: %d\n",
+		st.Rounds, st.CrossSeconds, sc.Coord.Windows, sc.Coord.Exchanged)
+	for p, pc := range sc.Pods {
+		if hm := hpn.HealthMonitorOf(pc); hm != nil {
+			fmt.Printf("pod %d health: %s\n", p, hm.Summary().Verdict())
+		}
+		if r := hpn.MemoRecorderOf(pc); r != nil {
+			s := r.Stats()
+			fmt.Printf("pod %d memo: %d hits, %d misses, %d blocked, %d invalidations, %d/%d iterations replayed\n",
+				p, s.Hits, s.Misses, s.Blocked, s.Invalidations, s.Replayed, st.Trainers[p].Iterations)
+		}
+		if st.Trainers[p].FirstErr != nil {
+			fmt.Fprintf(os.Stderr, "hpnsim: warning: pod %d sync-phase launch error: %v\n", p, st.Trainers[p].FirstErr)
+		}
+	}
+	if st.FirstErr != nil {
+		fmt.Fprintf(os.Stderr, "hpnsim: warning: cross-pod sync launch error: %v\n", st.FirstErr)
+	}
+	for _, w := range hpn.OverflowWarnings(hub) {
+		fmt.Fprintln(os.Stderr, "hpnsim:", w)
+	}
+
+	if hub != nil {
+		if traceOut != "" {
+			// The flat trace file carries the global domain's process; the
+			// per-pod traces land as c2_trace.json, ... in the artifact dirs.
+			if err := writeFile(traceOut, func(f *os.File) error {
+				_, err := hub.Tracer.WriteTo(f)
+				return err
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s (%d events)\n", traceOut, hub.Tracer.Events())
+		}
+		if promOut != "" {
+			if err := writeFile(promOut, func(f *os.File) error {
+				return hub.Registry.WritePrometheus(f)
+			}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", promOut)
+		}
+		for _, dir := range dirs {
+			paths, err := sc.WriteArtifacts(dir)
+			if err != nil {
+				fail(err)
+			}
+			for _, p := range paths {
+				fmt.Printf("wrote %s\n", p)
+			}
+		}
+	}
+	if memOut != "" {
+		if err := writeFile(memOut, func(f *os.File) error {
+			return pprof.Lookup("allocs").WriteTo(f, 0)
+		}); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", memOut)
 	}
 }
 

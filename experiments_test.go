@@ -41,7 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
 		"tab1", "tab2", "tab3", "tab4",
 		"sec7", "sec8", "sec42", "sec61a", "sec61b", "appd",
-		"memo",
+		"memo", "multipod",
 	}
 	have := map[string]bool{}
 	for _, e := range Experiments() {

@@ -38,6 +38,12 @@ type Cluster struct {
 	Topo *topo.Topology
 	Eng  *sim.Engine
 	Net  *netsim.Sim
+
+	// Pod, when >= 0, scopes this cluster view to one pod of a sharded
+	// fabric: placement and port sampling stay inside the pod (the Net is
+	// then also RestrictShard-scoped). -1 — every cluster built outside
+	// the sharded assembly — means the whole fabric.
+	Pod int
 }
 
 // NewHPN builds an HPN cluster.
@@ -76,7 +82,7 @@ func NewFrontend(cfg topo.FrontendConfig) (*Cluster, error) {
 
 func wrap(arch Arch, t *topo.Topology) *Cluster {
 	eng := sim.New()
-	c := &Cluster{Arch: arch, Topo: t, Eng: eng, Net: netsim.New(eng, t)}
+	c := &Cluster{Arch: arch, Topo: t, Eng: eng, Net: netsim.New(eng, t), Pod: -1}
 	c.EnableTelemetry(defaultHub)
 	return c
 }
@@ -103,6 +109,9 @@ func (c *Cluster) PlaceJob(hosts int) ([]int, error) {
 	bySeg := map[seg][]int{}
 	for id, h := range c.Topo.Hosts {
 		if h.Backup {
+			continue
+		}
+		if c.Pod >= 0 && h.Pod != c.Pod {
 			continue
 		}
 		k := seg{h.Pod, h.Segment}

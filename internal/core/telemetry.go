@@ -81,6 +81,9 @@ func (c *Cluster) trackPorts(smp *telemetry.Sampler, prefix string, n int) {
 		if nd.Kind != topo.KindToR {
 			continue
 		}
+		if c.Pod >= 0 && nd.Pod != c.Pod {
+			continue
+		}
 		for i, lk := range nd.Uplinks {
 			if tracked >= n {
 				return

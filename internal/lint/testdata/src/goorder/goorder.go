@@ -81,3 +81,65 @@ func localAppend(ch chan []int) {
 		ch <- local
 	}()
 }
+
+// post models a cross-shard message handed over at a window barrier.
+type post struct {
+	from int
+	at   int64
+}
+
+// Draining a window barrier's mailbox by channel-receive order: whichever
+// shard worker closes its window first lands first, so the merged delivery
+// order is scheduling order, not the (sender, seq) contract.
+func mailboxReceiveMerge(done chan post, shards int) []post {
+	var mailbox []post
+	for i := 0; i < shards; i++ { // want:goorder "channel-receive order"
+		mailbox = append(mailbox, <-done)
+	}
+	return mailbox
+}
+
+// Shard workers posting straight into a shared mailbox: even under the
+// lock, the mailbox order is whichever window finished first.
+func mailboxSharedAppend(posts [][]post, shards int) []post {
+	var mailbox []post
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() { // want:goorder "shared slice mailbox"
+			defer wg.Done()
+			mu.Lock()
+			mailbox = append(mailbox, posts[s]...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return mailbox
+}
+
+// The sharded exchange discipline: each worker fills a local outbox, parks
+// it in its own index-addressed slot, and the barrier drains the slots in
+// sender order — the merge order is the domain order, independent of
+// goroutine scheduling. Clean.
+func mailboxExchange(posts [][]post, shards int) []post {
+	outbox := make([][]post, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []post
+			local = append(local, posts[s]...)
+			outbox[s] = local
+		}()
+	}
+	wg.Wait()
+	var merged []post
+	for from := 0; from < shards; from++ {
+		merged = append(merged, outbox[from]...)
+	}
+	return merged
+}

@@ -73,3 +73,31 @@ func buildFromCursor(seq uint64, n int) []record {
 	}
 	return out
 }
+
+// Stamping window-barrier deliveries from a window-local counter: after a
+// memo fast-forward the engine cursor carries the replayed history while
+// the local counter restarts at zero, so merged mailboxes diverge.
+func stampWindow(e *engine, n int) []record {
+	var out []record
+	var windowSeq uint64
+	for i := 0; i < n; i++ {
+		out = append(out, record{
+			Seq:  windowSeq, // want:seqsource "local counter windowSeq"
+			Time: e.Now(),
+		})
+		windowSeq++
+	}
+	return out
+}
+
+// Window barriers stamp deliveries from the receiving engine's cursors;
+// the cursor survives fast-forward, so the stamps do too. Clean.
+func stampBarrier(e *engine, n int) []record {
+	out := make([]record, n)
+	for i := 0; i < n; i++ {
+		out[i].Seq = e.Seq()
+		out[i].Time = e.Now()
+		out[i].Note = "barrier"
+	}
+	return out
+}

@@ -462,5 +462,7 @@ func (s *Sim) scheduleCompletion(best float64) {
 	if s.Eng.Reschedule(s.completionEv, at) {
 		return
 	}
-	s.completionEv = s.Eng.ScheduleAt(at, s.completionEvent)
+	// Pinned: the handle is retained across firings for the Reschedule fast
+	// path above, so the engine must never recycle it into its free list.
+	s.completionEv = s.Eng.ScheduleAt(at, s.completionEvent).Pin()
 }

@@ -107,6 +107,12 @@ type Sim struct {
 	nextID int64
 	sport  uint16
 
+	// sharding/shard, when set (RestrictShard), scope this simulator to one
+	// pod shard of a partitioned fabric: admission, state fingerprints and
+	// therefore allocator components never leave the shard's link set.
+	sharding *topo.Sharding
+	shard    int
+
 	lastAdvance  sim.Time
 	completionEv *sim.Event
 	mutating     int
@@ -225,6 +231,38 @@ func New(eng *sim.Engine, top *topo.Topology) *Sim {
 	return s
 }
 
+// RestrictShard scopes the simulator to one shard of a partitioned fabric:
+// only flows between hosts of that shard are admitted, and the memo state
+// fingerprint covers only the shard's own links — so another shard's link
+// transitions neither invalidate this shard's cached windows nor race with
+// its fingerprint reads while windows execute in parallel. Contention is
+// then structurally shard-local: every allocator component this Sim can
+// form lives entirely inside the shard's link set, which is exactly the
+// "recompute scoped to non-spanning components" guarantee; anything that
+// would span shards must instead be escalated to an unrestricted Sim on
+// the global domain, whose recompute covers all links. Must be called
+// before any flow starts.
+func (s *Sim) RestrictShard(sh *topo.Sharding, shard int) {
+	if shard < 1 || shard > sh.N {
+		panic(fmt.Sprintf("netsim: shard %d outside 1..%d", shard, sh.N))
+	}
+	if len(s.active) > 0 || s.CompletedFlows > 0 {
+		panic("netsim: RestrictShard after flows started")
+	}
+	s.sharding = sh
+	s.shard = shard
+}
+
+// SetFlowIDBase offsets the flow-ID counter so each shard's simulator
+// mints IDs from a disjoint range (shard-scoped artifacts stay globally
+// unambiguous). Must be called before any flow starts.
+func (s *Sim) SetFlowIDBase(base int64) {
+	if s.nextID != 0 {
+		panic("netsim: SetFlowIDBase after flows started")
+	}
+	s.nextID = base
+}
+
 // FlowOpts customizes StartFlow.
 type FlowOpts struct {
 	// SrcPort pins the source NIC port (plane); -1 lets the bond hash pick.
@@ -243,6 +281,18 @@ type FlowOpts struct {
 func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*Flow, error) {
 	if bytes <= 0 {
 		return nil, fmt.Errorf("netsim: non-positive flow size %v", bytes)
+	}
+	if s.sharding != nil {
+		// Shard-scoped admission: a flow with an endpoint outside the shard
+		// would route over links another shard (or the global domain) owns.
+		// Valley-free routing never exits the pod for intra-pod pairs, so
+		// checking endpoints is exact.
+		if got := s.sharding.ShardOfHost(s.Top, src.Host); got != s.shard {
+			return nil, fmt.Errorf("netsim: src host %d is in shard %d, not this simulator's shard %d; cross-shard flows must run on the global domain", src.Host, got, s.shard)
+		}
+		if got := s.sharding.ShardOfHost(s.Top, dst.Host); got != s.shard {
+			return nil, fmt.Errorf("netsim: dst host %d is in shard %d, not this simulator's shard %d; cross-shard flows must run on the global domain", dst.Host, got, s.shard)
+		}
 	}
 	s.beginMutate()
 	defer s.endMutate()
@@ -271,6 +321,17 @@ func (s *Sim) StartFlow(src, dst route.Endpoint, bytes float64, opt FlowOpts) (*
 	}
 	if err := s.routeFlow(f); err != nil {
 		return nil, err
+	}
+	if s.sharding != nil {
+		// Invariant, not admission (that was the endpoint check above): an
+		// in-scope pair routed over an out-of-scope link means the routing
+		// layer violated the pod boundary — escalate loudly.
+		for _, l := range f.Path {
+			if s.sharding.ShardOfLink(l) != s.shard {
+				panic(fmt.Sprintf("netsim: shard %d flow %d routed over link %d owned by domain %d",
+					s.shard, f.ID, l, s.sharding.ShardOfLink(l)))
+			}
+		}
 	}
 	f.index = len(s.active)
 	s.active = append(s.active, f)

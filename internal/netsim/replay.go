@@ -27,12 +27,26 @@ func (s *Sim) StateHash64() uint64 {
 		h ^= v
 		h *= 1099511628211
 	}
-	for i := range s.Top.Links {
-		b := uint64(0)
-		if s.Top.LinkUsable(topo.LinkID(i)) {
-			b = 1
+	if s.sharding != nil {
+		// Shard-scoped fingerprint: only this shard's links. Reading other
+		// shards' usability here would both race with their concurrent
+		// windows and invalidate this shard's cached windows on transitions
+		// that cannot affect its flows.
+		for _, l := range s.sharding.ShardLinks[s.shard-1] {
+			b := uint64(0)
+			if s.Top.LinkUsable(l) {
+				b = 1
+			}
+			mix(uint64(l)<<1 | b)
 		}
-		mix(uint64(i)<<1 | b)
+	} else {
+		for i := range s.Top.Links {
+			b := uint64(0)
+			if s.Top.LinkUsable(topo.LinkID(i)) {
+				b = 1
+			}
+			mix(uint64(i)<<1 | b)
+		}
 	}
 	mix(uint64(s.sport))
 	mix(uint64(s.Eng.Now() - s.lastAdvance))

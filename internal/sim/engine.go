@@ -41,6 +41,14 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // Event is a scheduled callback. The zero Event is inert.
+//
+// Lifetime contract: once an event has fired, the engine may recycle its
+// storage for a future Schedule (the free-list that keeps hot dispatch
+// paths allocation-free). A caller that retains the *Event across its
+// firing — to Cancel, Reschedule or inspect it later — must Pin it, or the
+// handle may silently address an unrelated, recycled event. Events that
+// are canceled before firing are never recycled (the canceling caller
+// still holds the handle).
 type Event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among events at the same instant
@@ -50,6 +58,8 @@ type Event struct {
 	// daemon events (telemetry samplers, watchers) fire like any other
 	// event while foreground work remains, but do not keep Run alive.
 	daemon bool
+	// pinned excludes the event from free-list recycling after it fires.
+	pinned bool
 }
 
 // Canceled reports whether the event was canceled before firing.
@@ -57,6 +67,17 @@ func (e *Event) Canceled() bool { return e != nil && e.cancel }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
+
+// Pin marks the event as retained: the engine will never recycle it into
+// the free list, so the handle stays valid (for Cancel / Reschedule /
+// Canceled) after the event fires. Returns the event for chaining at the
+// Schedule call site. Nil-safe.
+func (e *Event) Pin() *Event {
+	if e != nil {
+		e.pinned = true
+	}
+	return e
+}
 
 type eventHeap []*Event
 
@@ -100,9 +121,22 @@ type Engine struct {
 	// delta at loop exit.
 	phRun      *prof.Phase
 	phDispatch *prof.Phase
+	// phDispatchAlloc tracks heap objects allocated inside serial run
+	// loops (Run/RunUntil/RunWhile). Allocation deltas are process-global,
+	// so RunCapped — which sharded windows execute concurrently — feeds
+	// phRun only.
+	phDispatchAlloc *prof.Phase
 	// Processed counts events executed so far; useful for runaway detection.
 	Processed uint64
+
+	// free is the event free list: fired, unpinned, uncanceled events are
+	// recycled here so steady-state scheduling allocates nothing.
+	free []*Event
 }
+
+// eventPoolCap bounds the per-engine free list. Beyond this the garbage
+// collector is cheaper than the cache pollution of a huge idle pool.
+const eventPoolCap = 4096
 
 // New returns a fresh engine with the clock at zero.
 func New() *Engine { return &Engine{} }
@@ -126,8 +160,9 @@ func (e *Engine) SetTracer(t *telemetry.Tracer) { e.tracer = t }
 // check). The dispatch count includes events credited by FastForward — it
 // mirrors Processed, so memo-on and memo-off runs report the same count.
 func (e *Engine) SetProfiler(p *prof.Profiler) {
-	e.phRun = p.Phase("sim/run", "event-loop invocations (Run/RunUntil/RunWhile); wall covers whole loops")
+	e.phRun = p.Phase("sim/run", "event-loop invocations (Run/RunUntil/RunWhile/RunCapped); wall covers whole loops")
 	e.phDispatch = p.Phase("sim/dispatch", "events dispatched (count-only; includes fast-forward credits)")
+	e.phDispatchAlloc = p.PhaseAlloc("sim/dispatch_allocs", "serial run-loop invocations with heap-allocation tracking (free-list effectiveness)")
 }
 
 // Schedule runs fn after delay. A negative delay is treated as zero (fn runs
@@ -161,7 +196,15 @@ func (e *Engine) schedule(at Time, fn func(), daemon bool) *Event {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	}
 	heap.Push(&e.events, ev)
 	if !daemon {
 		e.fg++
@@ -225,6 +268,14 @@ func (e *Engine) Step() bool {
 				telemetry.Arg{K: "seq", V: ev.seq})
 		}
 		ev.fn()
+		// Recycle the fired event unless a caller retained it (Pin) or
+		// canceled it during its own dispatch (the canceler holds the
+		// handle). fn is dropped so the closure's captures are collectable
+		// while the shell waits in the pool.
+		if !ev.pinned && !ev.cancel && len(e.free) < eventPoolCap {
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
 		return true
 	}
 	return false
@@ -235,7 +286,27 @@ func (e *Engine) Step() bool {
 // they stay queued and Run returns.
 func (e *Engine) Run() {
 	tk, n0 := e.phRun.Begin(), e.Processed
+	atk := e.phDispatchAlloc.Begin()
 	for e.fg > 0 && e.Step() {
+	}
+	e.phDispatchAlloc.End(atk)
+	e.endRun(tk, n0)
+}
+
+// RunCapped fires events with timestamps <= deadline while foreground work
+// remains, leaving the clock at the last fired event (unlike RunUntil it
+// never advances the clock to the deadline itself). The sharded window
+// scheduler uses it to advance one shard through a conservative time
+// window: the shard's clock must reflect only what actually executed, so
+// cross-shard deliveries clamp against real progress, not the window edge.
+func (e *Engine) RunCapped(deadline Time) {
+	tk, n0 := e.phRun.Begin(), e.Processed
+	for e.fg > 0 {
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
 	}
 	e.endRun(tk, n0)
 }
@@ -245,6 +316,8 @@ func (e *Engine) Run() {
 // beyond the deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	tk, n0 := e.phRun.Begin(), e.Processed
+	atk := e.phDispatchAlloc.Begin()
+	defer e.phDispatchAlloc.End(atk)
 	for e.fg > 0 {
 		next := e.peek()
 		if next == nil {

@@ -200,6 +200,43 @@ func (r *Registry) ApplyMetricsDelta(d *MetricsDelta) {
 	}
 }
 
+// Absorb folds every counter and histogram of src into r, creating
+// metrics that don't exist yet (same name, help and bucket bounds). The
+// sharded runner calls it once per shard registry after the engines drain,
+// in shard order on one goroutine, so suffix-summing readers (MetricSum,
+// the Prometheus/JSON exports) see the whole ensemble through the base
+// registry. Gauges are not absorbed: they are live views of per-shard
+// state and remain readable through each shard hub's own artifacts.
+func (r *Registry) Absorb(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	cs := make(map[string]*Counter, len(src.counters))
+	for n, c := range src.counters {
+		cs[n] = c
+	}
+	hs := make(map[string]*Histogram, len(src.histograms))
+	for n, h := range src.histograms {
+		hs[n] = h
+	}
+	src.mu.Unlock()
+	for _, name := range sortedKeys(cs) {
+		c := cs[name]
+		if v := c.Value(); v != 0 { //hpnlint:allow floateq -- zero-valued counters are elided exactly, like DeltaSince
+			r.Counter(name, c.help).Add(v)
+		}
+	}
+	for _, name := range sortedKeys(hs) {
+		h := hs[name]
+		bounds, counts, sum, n := h.snapshot()
+		if n == 0 {
+			continue
+		}
+		r.Histogram(name, h.help, bounds).addDelta(counts, sum, n)
+	}
+}
+
 // addDelta folds a recorded movement into the histogram. Nil-safe.
 func (h *Histogram) addDelta(counts []uint64, sum float64, n uint64) {
 	if h == nil {

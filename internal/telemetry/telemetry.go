@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,6 +82,13 @@ type Hub struct {
 	mu       sync.Mutex
 	samplers []*Sampler
 	clusters int
+
+	// parent, on a hub derived with ShardHub, is the root hub that owns
+	// cluster-prefix allocation. Everything byte-producing (Tracer,
+	// Registry, Flight) is private per shard hub so concurrent shard
+	// windows never interleave writes; the profiler is shared (its
+	// accumulators are atomic and its counts order-independent).
+	parent *Hub
 }
 
 // NewHub builds a hub from opt.
@@ -103,20 +111,68 @@ func NewHub(opt Options) *Hub {
 // JoinCluster allocates the metric-name prefix and sampler for the next
 // cluster attached to this hub. The first cluster is unprefixed so
 // single-cluster runs keep clean metric names; later clusters get "c2_",
-// "c3_", ... The sampler is nil when sampling is disabled.
+// "c3_", ... On a shard hub the prefix comes from the root hub's counter,
+// so prefixes stay globally unique across the whole sharded ensemble and
+// the shard's private artifacts (trace, flight ring) register under it.
+// The sampler is nil when sampling is disabled.
 func (h *Hub) JoinCluster() (prefix string, smp *Sampler) {
+	if h.parent != nil {
+		prefix = h.parent.allocPrefix()
+		if h.Tracer != nil {
+			h.Registry.RegisterExporter(prefix+"trace.json", func(w io.Writer) error {
+				_, err := h.Tracer.WriteTo(w)
+				return err
+			})
+		}
+		if h.Flight != nil {
+			h.Registry.RegisterExporter(prefix+"flight.tsv", h.Flight.WriteTSV)
+		}
+	} else {
+		prefix = h.allocPrefix()
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.clusters++
-	if h.clusters > 1 {
-		prefix = fmt.Sprintf("c%d_", h.clusters)
-	}
 	if h.Opt.SampleInterval > 0 {
 		smp = NewSampler(h.Opt.SampleInterval, h.Opt.RingCap)
 		smp.AttachTracer(h.Tracer)
 		h.samplers = append(h.samplers, smp)
 	}
 	return prefix, smp
+}
+
+// allocPrefix hands out the next cluster prefix ("", "c2_", "c3_", ...).
+func (h *Hub) allocPrefix() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.clusters++
+	if h.clusters > 1 {
+		return fmt.Sprintf("c%d_", h.clusters)
+	}
+	return ""
+}
+
+// ShardHub derives a hub for one shard domain of a sharded run. The shard
+// hub shares the root's Options and Profiler (atomic accumulators;
+// deterministic counts) but owns a fresh Tracer, Registry and Flight
+// recorder: all three serialize records into byte streams under the
+// assumption of a single writer, so concurrent shard windows must each
+// write their own. Cluster prefixes are still allocated by the root
+// (JoinCluster delegates), keeping metric names and artifact names unique
+// across the ensemble; fold shard counters back with Registry.Absorb once
+// the run is done and the engines are quiescent.
+func (h *Hub) ShardHub() *Hub {
+	root := h
+	if h.parent != nil {
+		root = h.parent
+	}
+	sh := &Hub{Opt: root.Opt, Registry: NewRegistry(), parent: root, Prof: root.Prof}
+	if root.Opt.Trace {
+		sh.Tracer = NewTracer(root.Opt.MaxTraceEvents)
+	}
+	if root.Prof != nil {
+		sh.Flight = prof.NewFlight(0)
+	}
+	return sh
 }
 
 // Samplers returns every per-cluster sampler created so far.

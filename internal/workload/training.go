@@ -106,6 +106,18 @@ type Trainer struct {
 	// OnIteration, if set, fires after each iteration.
 	OnIteration func(iter int, now sim.Time)
 
+	// IterGate, if set, pauses the trainer between iterations: after each
+	// iteration's completion bookkeeping (live or replayed) the trainer
+	// calls IterGate(completedIterations, resume) instead of scheduling the
+	// next compute phase, and the next iteration begins only when resume
+	// runs (on this trainer's engine). The sharded multi-pod driver uses
+	// this as the natural barrier of ISSUE cross-pod collectives: each pod
+	// trainer posts "done" to the global domain through the gate, the
+	// cross-pod gradient sync runs there while every pod is quiescent, and
+	// resume is posted back. The gate is also a memoization window edge —
+	// see completeIteration.
+	IterGate func(iter int, resume func())
+
 	// MicrobatchesPerIteration scales the pipeline-parallel activation
 	// traffic each iteration exchanges across stage boundaries (§7). Zero
 	// disables PP traffic (PP=1 jobs have none anyway).
@@ -218,6 +230,13 @@ func (t *Trainer) syncPhase() {
 			break
 		}
 		t.memo.Replay(w, t.completeIterationReplay)
+		if t.IterGate != nil {
+			// Gated windows end at the gate (see completeIteration), so the
+			// replay just landed exactly there: hand off and let resume
+			// re-enter via beginIteration -> syncPhase for the next one.
+			t.IterGate(t.Iterations, t.beginIteration)
+			return
+		}
 		start = t.Net.Eng.Now()
 	}
 	if record {
@@ -344,7 +363,28 @@ func (t *Trainer) completeIteration(comm sim.Time) {
 	t.memo.BeginLive(now, comm.Seconds())
 	t.finishIteration(now, comm.Seconds())
 	t.memo.EndLive()
+	if t.IterGate != nil {
+		// Gate mode moves the window edge from the next syncPhase entry to
+		// the gate: between the gate and resume the global domain runs
+		// (cross-pod sync, resume deliveries land as engine events), none of
+		// which a shard-local window could replay. The gate is a zero-delay
+		// event rather than a direct call so the window closes only after
+		// the completion dispatch — including the telemetry netsim emits
+		// after this callback returns — has fully landed in the record;
+		// replay credits the gate event's sequence number from the window.
+		t.Net.Eng.Schedule(0, t.gateEvent)
+		return
+	}
 	t.beginIteration()
+}
+
+// gateEvent is the deferred window edge of gated iterations: it finalizes
+// the memo record begun at syncPhase and hands control to the coordinator.
+// On replay the trainer calls IterGate directly instead — the recorded
+// window already credits this event's schedule and dispatch.
+func (t *Trainer) gateEvent() {
+	t.memo.FinalizeRecord()
+	t.IterGate(t.Iterations, t.beginIteration)
 }
 
 // completeIterationReplay is the live section of a replayed window: the
